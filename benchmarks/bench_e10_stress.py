@@ -1,0 +1,23 @@
+"""E10 — laptop-scale stress: n up to 40, LP-bound normalization.
+
+Beyond the MILP oracle's comfort zone; the reported beta upper bound must
+still respect the proven guarantee (<= 2 modulo the LP integrality gap,
+which only inflates the reported number)."""
+
+from repro.eval.experiments import run_e10_stress
+
+
+def test_e10_stress(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e10_stress,
+        kwargs={"sizes": (20, 30, 40), "n_instances": 3},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "e10",
+        "E10: stress scale (beta vs flow-LP lower bound)",
+        headers,
+        rows,
+    )
+    assert rows

@@ -1,0 +1,22 @@
+"""E2 — Lemma 5: the phase-1 (alpha, 2 - alpha) trade-off.
+
+The LP-rounding phase-1 of [9] must satisfy
+``delay/D + cost/C_LP <= 2`` at every budget tightness.
+"""
+
+from repro.eval.experiments import run_e2
+
+
+def test_e2_phase1_tradeoff(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e2, kwargs={"n_instances": 8}, rounds=1, iterations=1
+    )
+    record_table(
+        "e2",
+        "E2: Lemma 5 score (delay/D + cost/C_LP) across budget tightness",
+        headers,
+        rows,
+    )
+    assert rows
+    for tightness, count, score_mean, score_max, alpha_mean in rows:
+        assert score_max <= 2.0 + 1e-6, f"Lemma 5 violated at tightness {tightness}"

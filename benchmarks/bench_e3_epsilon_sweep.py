@@ -1,0 +1,27 @@
+"""E3 — Theorem 4: the (1 + eps, 2 + eps) scaled variant.
+
+Sweeps eps and reports measured alpha/beta (vs exact optimum) plus mean
+runtime; 'exact' rows run the unscaled pseudo-polynomial algorithm.
+"""
+
+from repro.eval.experiments import run_e3
+
+
+def test_e3_epsilon_sweep(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e3, kwargs={"n_instances": 4}, rounds=1, iterations=1
+    )
+    record_table(
+        "e3",
+        "E3: Theorem 4 epsilon sweep (quality vs runtime)",
+        headers,
+        rows,
+    )
+    assert rows
+    for eps, solved, alpha_max, beta_max, seconds_mean in rows:
+        if eps == "exact":
+            assert alpha_max <= 1.0 + 1e-9
+            assert beta_max <= 2.0 + 1e-9
+        else:
+            assert alpha_max <= 1.0 + float(eps) + 1e-9
+            assert beta_max <= 2.0 + float(eps) + 1e-9

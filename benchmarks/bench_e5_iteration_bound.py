@@ -1,0 +1,24 @@
+"""E5 — Lemma 12 / Lemma 13: iteration behaviour of the cancellation loop.
+
+Audits recorded traces for the Lemma 12 invariant (r non-decreasing under
+the exact C_OPT) and compares measured iteration counts against the
+pseudo-polynomial bound ``D * sum(c) * sum(d)`` — expected to be
+astronomically loose (bound_ratio_max << 1).
+"""
+
+from repro.eval.experiments import run_e5
+
+
+def test_e5_iteration_bound(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e5, kwargs={"n_instances": 8}, rounds=1, iterations=1
+    )
+    record_table(
+        "e5",
+        "E5: Lemma 12 audit + iterations vs the Lemma 13 bound",
+        headers,
+        rows,
+    )
+    (count, iters_total, iters_max, violations, bound_ratio_max) = rows[0]
+    assert violations == 0, "Lemma 12 invariant violated on a recorded trace"
+    assert bound_ratio_max < 0.01, "iterations approached the theoretical bound?!"

@@ -1,0 +1,23 @@
+"""E7 — runtime scaling of the full solver with instance size.
+
+The pseudo-polynomial algorithm's wall clock grows with both the graph and
+the weight magnitudes; this series tracks n (ER family, fixed density).
+"""
+
+from repro.eval.experiments import run_e7
+
+
+def test_e7_scaling(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e7,
+        kwargs={"sizes": (8, 10, 12, 14), "n_instances": 3},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "e7",
+        "E7: solver runtime vs n (ER anti-correlated family)",
+        headers,
+        rows,
+    )
+    assert rows

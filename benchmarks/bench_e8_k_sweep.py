@@ -1,0 +1,22 @@
+"""E8 — quality across k, with the k = 1 case cross-checked against the
+exact single-RSP dynamic program."""
+
+from repro.eval.experiments import run_e8
+
+
+def test_e8_k_sweep(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e8, kwargs={"k_values": (1, 2, 3), "n_instances": 4}, rounds=1, iterations=1
+    )
+    record_table(
+        "e8",
+        "E8: bifactor across k (k=1 cross-checked vs exact RSP DP)",
+        headers,
+        rows,
+    )
+    assert rows
+    for k, solved, beta_mean, beta_max, agreement in rows:
+        assert beta_max <= 2.0 + 1e-9
+        if k == 1 and agreement != "n/a":
+            done, total = agreement.split("/")
+            assert done == total, "MILP and RSP DP disagreed on k=1 optima"

@@ -1,0 +1,58 @@
+"""E9 — substrate validation benches.
+
+Cross-checks Suurballe against the MILP min-sum and the flow-LP lower
+bound against the exact optimum, and times the individual substrates on a
+fixed mid-size instance.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import run_e9
+from repro.flow import min_cost_k_flow, suurballe_k_paths
+from repro.graph import anticorrelated_weights, gnp_digraph
+from repro.lp import solve_flow_lp
+from repro.paths import dijkstra, rsp_exact
+
+
+def test_e9_substrates_table(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        run_e9, kwargs={"n_instances": 10}, rounds=1, iterations=1
+    )
+    record_table(
+        "e9",
+        "E9: substrate agreement with exact oracles",
+        headers,
+        rows,
+    )
+    for check, total, agreements, _gap in rows:
+        assert agreements == total, f"substrate check failed: {check}"
+
+
+def _fixed_instance():
+    g = anticorrelated_weights(gnp_digraph(40, 0.15, rng=9100), rng=9101)
+    return g
+
+
+def test_e9_speed_dijkstra(benchmark):
+    g = _fixed_instance()
+    benchmark(dijkstra, g, 0)
+
+
+def test_e9_speed_mincost_flow(benchmark):
+    g = _fixed_instance()
+    benchmark(min_cost_k_flow, g, 0, g.n - 1, 3)
+
+
+def test_e9_speed_suurballe(benchmark):
+    g = _fixed_instance()
+    benchmark(suurballe_k_paths, g, 0, g.n - 1, 3)
+
+
+def test_e9_speed_flow_lp(benchmark):
+    g = _fixed_instance()
+    benchmark(solve_flow_lp, g, 0, g.n - 1, 3, 200)
+
+
+def test_e9_speed_rsp_exact(benchmark):
+    g = _fixed_instance()
+    benchmark(rsp_exact, g, 0, g.n - 1, 60)

@@ -1,0 +1,29 @@
+"""F2 — Figure 2: the auxiliary-graph construction H_v^+(B).
+
+Regenerates the worked example (path ``s-x-y-z-t`` reversed, B = 6) as a
+table of per-anchor construction sizes and Lemma 15 cycle counts, and
+times the construction itself.
+"""
+
+from repro.eval.experiments import figure2_instance, run_figure2
+from repro.core import build_aux_paper, build_residual
+
+
+def test_f2_auxgraph_table(benchmark, record_table):
+    headers, rows = benchmark.pedantic(run_figure2, kwargs={"B": 6}, rounds=1, iterations=1)
+    record_table(
+        "f2",
+        "F2 / Figure 2: H_v^+(6) over the s-x-y-z-t example",
+        headers,
+        rows,
+    )
+    g, ids, path = figure2_instance()
+    for anchor, B, h_nodes, h_edges, wraps, _cycles in rows:
+        assert h_nodes == g.n * (B + 1)  # Algorithm 2 step 1
+        assert wraps == B  # Algorithm 2 step 3
+
+
+def test_f2_construction_speed(benchmark):
+    g, ids, path = figure2_instance()
+    residual = build_residual(g, path)
+    benchmark(build_aux_paper, residual.graph, ids["y"], 6, +1)

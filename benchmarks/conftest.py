@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark wraps one experiment runner from
+:mod:`repro.eval.experiments`, times it via pytest-benchmark, prints the
+regenerated table (run with ``-s`` to see it live), and writes it under
+``benchmarks/results/`` — those files are the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Return a callback that prints + persists an experiment's table."""
+
+    def _record(name: str, title: str, headers, rows) -> str:
+        from repro.eval.reporting import format_table
+
+        out = format_table(headers, rows, title=title)
+        print("\n" + out)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(out + "\n")
+        return out
+
+    return _record

@@ -1,0 +1,60 @@
+"""repro: a production reproduction of "Efficient Approximation Algorithms
+for Computing k Disjoint Restricted Shortest Paths" (SPAA 2015).
+
+Quick start::
+
+    from repro import solve_krsp
+    from repro.graph import gnp_digraph, anticorrelated_weights
+
+    g = anticorrelated_weights(gnp_digraph(20, 0.3, rng=0), rng=1)
+    sol = solve_krsp(g, s=0, t=19, k=2, delay_bound=60)
+    print(sol.cost, sol.delay, sol.paths)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` -- array-backed digraphs, generators, weight models;
+* :mod:`repro.paths` -- Dijkstra/Bellman-Ford, exact & approximate RSP;
+* :mod:`repro.flow` -- max-flow, min-cost k-flow, Suurballe, decomposition;
+* :mod:`repro.lp` -- delay-budgeted flow LP, rounding, exact MILP oracle;
+* :mod:`repro.core` -- the paper's algorithm (residuals, bicameral cycles,
+  auxiliary graphs, cancellation, scaling);
+* :mod:`repro.baselines` -- comparison algorithms from the related work;
+* :mod:`repro.eval` -- experiment harness and registry.
+"""
+
+from repro.core import (
+    KBCPSolution,
+    KRSPInstance,
+    KRSPSolution,
+    PathSet,
+    solve_kbcp,
+    solve_krsp,
+)
+from repro.errors import (
+    GraphError,
+    InfeasibleInstanceError,
+    InvariantError,
+    IterationLimitError,
+    NegativeCycleError,
+    ReproError,
+    SolverError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve_krsp",
+    "solve_kbcp",
+    "KBCPSolution",
+    "KRSPInstance",
+    "KRSPSolution",
+    "PathSet",
+    "ReproError",
+    "GraphError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "InvariantError",
+    "IterationLimitError",
+    "NegativeCycleError",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Addressable binary min-heap keyed by integer item ids.
+
+Dijkstra-style algorithms need ``decrease_key``; :mod:`heapq` cannot do that
+without lazy deletion. This implementation stores the heap as three parallel
+Python lists (keys, item ids, and an id->position index) which profiling shows
+beats an object-per-node design by a wide margin for the graph sizes this
+library targets (the guide's advice: measure, keep data in flat arrays).
+
+Keys may be any comparable values; the kRSP code uses ints and
+(int, int) tuples (lexicographic tie-breaking for deterministic runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class AddressableHeap:
+    """Binary min-heap over integer item ids with ``decrease_key``.
+
+    Parameters
+    ----------
+    capacity:
+        Item ids must lie in ``range(capacity)``. The position index is a
+        preallocated list of that length.
+    """
+
+    __slots__ = ("_keys", "_items", "_pos")
+
+    def __init__(self, capacity: int):
+        self._keys: list[Any] = []
+        self._items: list[int] = []
+        # _pos[item] is the index of `item` inside the heap arrays, or -1.
+        self._pos: list[int] = [-1] * capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return self._pos[item] >= 0
+
+    def key_of(self, item: int) -> Any:
+        """Return the current key of ``item`` (must be in the heap)."""
+        i = self._pos[item]
+        if i < 0:
+            raise KeyError(item)
+        return self._keys[i]
+
+    def push(self, item: int, key: Any) -> None:
+        """Insert ``item`` with ``key``. ``item`` must not already be present."""
+        if self._pos[item] >= 0:
+            raise ValueError(f"item {item} already in heap")
+        self._keys.append(key)
+        self._items.append(item)
+        self._pos[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def push_or_decrease(self, item: int, key: Any) -> bool:
+        """Insert ``item`` or lower its key; no-op if ``key`` is not smaller.
+
+        Returns ``True`` when the heap changed.
+        """
+        i = self._pos[item]
+        if i < 0:
+            self.push(item, key)
+            return True
+        if key < self._keys[i]:
+            self._keys[i] = key
+            self._sift_up(i)
+            return True
+        return False
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return ``(item, key)`` with the minimum key."""
+        if not self._items:
+            raise IndexError("pop from empty heap")
+        top_item = self._items[0]
+        top_key = self._keys[0]
+        last_item = self._items.pop()
+        last_key = self._keys.pop()
+        self._pos[top_item] = -1
+        if self._items:
+            self._items[0] = last_item
+            self._keys[0] = last_key
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        return top_item, top_key
+
+    # -- internal sifting ---------------------------------------------------
+
+    def _sift_up(self, i: int) -> None:
+        keys, items, pos = self._keys, self._items, self._pos
+        key, item = keys[i], items[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if keys[parent] <= key:
+                break
+            keys[i] = keys[parent]
+            items[i] = items[parent]
+            pos[items[i]] = i
+            i = parent
+        keys[i] = key
+        items[i] = item
+        pos[item] = i
+
+    def _sift_down(self, i: int) -> None:
+        keys, items, pos = self._keys, self._items, self._pos
+        n = len(items)
+        key, item = keys[i], items[i]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            child = left
+            right = left + 1
+            if right < n and keys[right] < keys[left]:
+                child = right
+            if keys[child] >= key:
+                break
+            keys[i] = keys[child]
+            items[i] = items[child]
+            pos[items[i]] = i
+            i = child
+        keys[i] = key
+        items[i] = item
+        pos[item] = i

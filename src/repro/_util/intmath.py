@@ -1,0 +1,64 @@
+"""Exact integer arithmetic helpers.
+
+The bicameral-cycle machinery compares delay/cost *ratios* of cycles whose
+numerators and denominators can be negative (Definition 10 of the paper).
+Doing this in floating point invites misclassification near ties, which the
+Lemma 12 progress monitor would then flag as invariant violations. All ratio
+comparisons therefore cross-multiply in exact Python integers.
+
+A ratio is an ordered pair ``(num, den)`` with ``den != 0``; the represented
+value is ``num / den``. Signs are normalized by multiplying through, never by
+division.
+"""
+
+from __future__ import annotations
+
+
+def ratio_cmp(num1: int, den1: int, num2: int, den2: int) -> int:
+    """Three-way compare ``num1/den1`` against ``num2/den2`` exactly.
+
+    Returns -1, 0, or 1. Denominators must be nonzero; either may be
+    negative.
+    """
+    if den1 == 0 or den2 == 0:
+        raise ZeroDivisionError("ratio with zero denominator")
+    lhs = num1 * den2
+    rhs = num2 * den1
+    # Flipping a comparison for each negative denominator is equivalent to
+    # multiplying both sides by den1*den2 and tracking its sign.
+    if (den1 < 0) != (den2 < 0):
+        lhs, rhs = rhs, lhs
+    if lhs < rhs:
+        return -1
+    if lhs > rhs:
+        return 1
+    return 0
+
+
+def ratio_le(num1: int, den1: int, num2: int, den2: int) -> bool:
+    """Exact test ``num1/den1 <= num2/den2``."""
+    return ratio_cmp(num1, den1, num2, den2) <= 0
+
+
+def ratio_lt(num1: int, den1: int, num2: int, den2: int) -> bool:
+    """Exact test ``num1/den1 < num2/den2``."""
+    return ratio_cmp(num1, den1, num2, den2) < 0
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division that insists on a positive divisor.
+
+    Python's ``//`` already floors, but the scaling code (Theorem 4) must
+    never be handed a nonpositive scale; failing loudly here beats a silent
+    sign flip downstream.
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return a // b
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division with a positive divisor."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -((-a) // b)

@@ -1,0 +1,56 @@
+"""Lightweight wall-clock timing with named sub-sections.
+
+The evaluation harness attributes solver time to phases (phase-1 LP,
+bicameral search, oplus bookkeeping). A :class:`Timer` is a context manager
+that accumulates into a shared dict, so nesting and re-entry just add up.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulates wall-clock seconds per named section.
+
+    >>> t = Timer()
+    >>> with t.section("lp"):
+    ...     pass
+    >>> t.total("lp") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._acc: dict[str, float] = {}
+        self._count: dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._acc[name] = self._acc.get(name, 0.0) + elapsed
+            self._count[name] = self._count.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds in ``name`` (0.0 if never entered)."""
+        return self._acc.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times section ``name`` was entered."""
+        return self._count.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all accumulated totals."""
+        return dict(self._acc)
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's accumulators into this one."""
+        for name, seconds in other._acc.items():
+            self._acc[name] = self._acc.get(name, 0.0) + seconds
+        for name, n in other._count.items():
+            self._count[name] = self._count.get(name, 0) + n

@@ -1,0 +1,41 @@
+"""Comparison algorithms from the paper's related work (experiment E4).
+
+=====================  ==========================================  =========================
+baseline               source                                      guarantee
+=====================  ==========================================  =========================
+minsum                 Suurballe / Suurballe–Tarjan [20, 21]       cost-optimal, any delay
+lp_rounding_2_2        Guo, FAW 2014 [9] (the paper's phase 1)     bifactor (2, 2)
+orda_sprintson_style   Orda–Sprintson [18] / Guo et al. [12]       (1 + 1/r, 1 + r) family
+greedy_sequential      folklore sequential QoS routing             none
+ksp_filtering          k-shortest-paths + disjoint filtering       none
+=====================  ==========================================  =========================
+"""
+
+from repro.baselines.minsum import BaselineResult, minsum_baseline
+from repro.baselines.lp_rounding_only import lp_rounding_baseline
+from repro.baselines.orda_sprintson import (
+    min_cost_per_delay_cycle,
+    orda_sprintson_baseline,
+)
+from repro.baselines.greedy_sequential import greedy_sequential_baseline
+from repro.baselines.ksp_filtering import ksp_filtering_baseline
+
+BASELINES = {
+    "minsum": minsum_baseline,
+    "lp_rounding_2_2": lp_rounding_baseline,
+    "orda_sprintson_style": orda_sprintson_baseline,
+    "greedy_sequential": greedy_sequential_baseline,
+    "ksp_filtering": ksp_filtering_baseline,
+}
+"""Name registry used by the evaluation harness."""
+
+__all__ = [
+    "BaselineResult",
+    "BASELINES",
+    "minsum_baseline",
+    "lp_rounding_baseline",
+    "orda_sprintson_baseline",
+    "greedy_sequential_baseline",
+    "ksp_filtering_baseline",
+    "min_cost_per_delay_cycle",
+]

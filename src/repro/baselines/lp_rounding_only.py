@@ -1,0 +1,39 @@
+"""Baseline: phase 1 alone — the (2, 2) LP-rounding algorithm of [9].
+
+This is exactly what the paper improves on: solve the delay-budgeted flow
+LP and round. Guarantee (Lemma 5): there is ``alpha in [0, 2]`` with
+``delay <= alpha * D`` and ``cost <= (2 - alpha) * C_OPT`` — a bifactor
+``(2, 2)`` overall, with no control over *which* criterion overshoots.
+Running it as a standalone baseline shows how much the bicameral phase
+buys (experiment E4)."""
+
+from __future__ import annotations
+
+from repro.baselines.minsum import BaselineResult
+from repro.core.instance import KRSPInstance
+from repro.core.phase1 import phase1_lp_rounding
+from repro.graph.digraph import DiGraph
+
+
+def lp_rounding_baseline(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+) -> BaselineResult:
+    """Phase-1 LP rounding with no cancellation afterwards.
+
+    Raises :class:`~repro.errors.InfeasibleInstanceError` when the
+    fractional relaxation is already infeasible.
+    """
+    inst = KRSPInstance(graph=g, s=s, t=t, k=k, delay_bound=delay_bound)
+    res = phase1_lp_rounding(inst)
+    sol = res.solution
+    return BaselineResult(
+        name="lp_rounding_2_2",
+        paths=[list(p) for p in sol.paths],
+        cost=sol.cost,
+        delay=sol.delay,
+        meets_delay_bound=sol.delay <= delay_bound,
+    )

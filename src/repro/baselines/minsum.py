@@ -1,0 +1,53 @@
+"""Baseline: delay-oblivious min-sum disjoint paths (Suurballe [20, 21]).
+
+The special case the paper cites as polynomially solvable when the delay
+constraint is removed. As a kRSP baseline it is the cost anchor: no
+algorithm can beat its cost, and its delay shows how badly an oblivious
+router can bust the budget (experiment E4's left column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleInstanceError
+from repro.flow.suurballe import suurballe_k_paths
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Common result record for all baselines.
+
+    ``meets_delay_bound`` distinguishes baselines that may legitimately
+    return budget-violating solutions (min-sum, greedy fallbacks) from the
+    guarantee-carrying ones.
+    """
+
+    name: str
+    paths: list[list[int]]
+    cost: int
+    delay: int
+    meets_delay_bound: bool
+
+
+def minsum_baseline(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+) -> BaselineResult:
+    """Cheapest k disjoint paths, ignoring the delay bound entirely."""
+    paths = suurballe_k_paths(g, s, t, k)
+    if paths is None:
+        raise InfeasibleInstanceError(f"fewer than k={k} disjoint paths exist")
+    flat = [e for p in paths for e in p]
+    delay = g.delay_of(flat)
+    return BaselineResult(
+        name="minsum",
+        paths=paths,
+        cost=g.cost_of(flat),
+        delay=delay,
+        meets_delay_bound=delay <= delay_bound,
+    )

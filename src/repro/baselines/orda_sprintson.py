@@ -1,0 +1,126 @@
+"""Baseline in the style of Orda–Sprintson [18] (and [12]): cycle
+cancellation over a *single-criterion* residual graph.
+
+The paper's Section 2 describes exactly how prior work differs from its
+contribution: in [18]/[12] the residual graph reverses solution edges and
+negates their **delay**, but sets their **cost to zero** (rather than
+negating it), so residual costs stay nonnegative and a best cycle — one
+minimizing cost paid per unit of delay removed — is computable in
+polynomial time by minimum-ratio-cycle search. The price is accounting:
+removing an expensive edge refunds nothing, which is what caps this family
+of algorithms at bifactor ``(1 + 1/r, 1 + r)`` for k = 2 instead of the
+paper's ``(1 + eps, 2 + eps)``.
+
+This module implements that scheme faithfully in structure (min-sum start,
+zero-cost residual, exact minimum cost/|delay| ratio cycles via Lawler's
+parametric search over Bellman–Ford), generalized to any ``k``. Measured
+ratios — not the literal [18] pseudocode, which the brief announcement does
+not reproduce — are what experiment E4 compares.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.baselines.minsum import BaselineResult
+from repro.core.instance import KRSPInstance
+from repro.core.residual import apply_residual_cycles, build_residual
+from repro.errors import InfeasibleInstanceError, IterationLimitError
+from repro.flow.decompose import decompose_flow, strip_improving_cycles
+from repro.flow.suurballe import suurballe_k_paths
+from repro.graph.digraph import DiGraph
+from repro.paths.bellman_ford import find_negative_cycle
+
+
+def min_cost_per_delay_cycle(
+    g: DiGraph,
+    cost: np.ndarray,
+    delay: np.ndarray,
+) -> list[int] | None:
+    """Cycle minimizing ``cost(O) / -delay(O)`` among negative-delay cycles.
+
+    ``cost`` must be nonnegative. Lawler's parametric search: a cycle with
+    ``cost + mu * delay < 0`` exists iff some negative-delay cycle has
+    ratio ``< mu``; binary-search ``mu`` on the exact rational grid of
+    candidate ratios via repeated Bellman–Ford probes. Returns ``None``
+    when no negative-delay cycle exists.
+    """
+    probe = find_negative_cycle(g, weight=delay)
+    if probe is None:
+        return None
+    # Ratio values are fractions p/q with p <= sum(cost), q <= sum(|delay|);
+    # binary search mu until the witness cycle's own ratio certifies
+    # optimality (standard Lawler termination: search interval < 1/q^2).
+    best = probe
+    lo = Fraction(0)
+    hi_q = int(np.abs(delay).sum()) or 1
+    hi = Fraction(int(cost.sum()) + 1)
+    # Invariant: a negative-delay cycle with ratio < hi exists (namely best);
+    # none with ratio < lo exists.
+    while hi - lo > Fraction(1, hi_q * hi_q):
+        mid = (lo + hi) / 2
+        w = cost * mid.denominator + delay * mid.numerator
+        cyc = find_negative_cycle(g, weight=w)
+        if cyc is None:
+            lo = mid
+        else:
+            c, d = int(cost[cyc].sum()), int(delay[cyc].sum())
+            if d >= 0:
+                # cost+mu*delay < 0 with d >= 0 forces c < 0 — impossible
+                # for nonnegative cost; defensive.
+                lo = mid
+                continue
+            best = cyc
+            hi = Fraction(c, -d)
+    return best
+
+
+def orda_sprintson_baseline(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    max_iterations: int = 10_000,
+) -> BaselineResult:
+    """Run the zero-cost-residual cancellation scheme to delay feasibility.
+
+    Raises :class:`InfeasibleInstanceError` when no ``k`` disjoint paths
+    meet the budget (no negative-delay cycle remains while infeasible —
+    the same Lemma 9 argument applies, since delays are genuinely negated).
+    """
+    inst = KRSPInstance(graph=g, s=s, t=t, k=k, delay_bound=delay_bound)
+    paths = suurballe_k_paths(g, s, t, k)
+    if paths is None:
+        raise InfeasibleInstanceError(f"fewer than k={k} disjoint paths exist")
+    sol = inst.path_set(paths)
+
+    iters = 0
+    while sol.delay > delay_bound:
+        if iters >= max_iterations:
+            raise IterationLimitError("orda-sprintson-style loop exceeded cap")
+        residual = build_residual(g, sol.edge_ids)
+        res_g = residual.graph
+        # Single-criterion residual: reversed edges keep negated delay but
+        # contribute zero cost (the [18]/[12] accounting).
+        os_cost = np.where(residual.reversed_mask, 0, res_g.cost).astype(np.int64)
+        cyc = min_cost_per_delay_cycle(res_g, os_cost, res_g.delay)
+        if cyc is None:
+            raise InfeasibleInstanceError(
+                "delay bound unreachable: no negative-delay cycle remains"
+            )
+        new_edges = apply_residual_cycles(sol.edge_ids, residual, [cyc])
+        new_paths, cycles_left = decompose_flow(g, new_edges, s, t)
+        strip_improving_cycles(g, new_paths, cycles_left)
+        sol = inst.path_set(new_paths)
+        iters += 1
+
+    return BaselineResult(
+        name="orda_sprintson_style",
+        paths=[list(p) for p in sol.paths],
+        cost=sol.cost,
+        delay=sol.delay,
+        meets_delay_bound=True,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve a kRSP instance from a JSON file (schema of
+    :mod:`repro.graph.io` plus ``s``, ``t``, ``k``, ``delay_bound`` keys)
+    or from a generated workload, printing paths and totals.
+``experiment``
+    Run one experiment from the registry (``f1``, ``f2``, ``e1`` ... ``e9``)
+    and print its table.
+``generate``
+    Generate a random instance and write it as JSON (for sharing or
+    regression pinning).
+
+Examples
+--------
+::
+
+    python -m repro generate --family er --n 16 --seed 7 -o inst.json
+    python -m repro solve inst.json
+    python -m repro solve inst.json --eps 0.25 --phase1 lagrangian
+    python -m repro experiment e1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.krsp import solve_krsp
+from repro.errors import ReproError
+from repro.eval.experiments import EXPERIMENTS
+from repro.eval.reporting import format_table
+from repro.eval.workloads import interesting_delay_bound
+from repro.graph.io import instance_from_dict, instance_to_dict
+
+
+def _load_instance(path: str):
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    g, s, t, k, bound = _load_instance(args.instance)
+    eps = args.eps if args.eps else None
+    try:
+        sol = solve_krsp(g, s, t, k, bound, phase1=args.phase1, eps=eps)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"cost={sol.cost} delay={sol.delay} (budget {bound}, "
+          f"feasible={sol.delay_feasible}) iterations={sol.iterations}")
+    if sol.cost_lower_bound is not None:
+        print(f"certified lower bound on OPT cost: {float(sol.cost_lower_bound):.3f}")
+    for i, path in enumerate(sol.paths, 1):
+        hops = [int(g.tail[path[0]])] + [int(g.head[e]) for e in path]
+        print(f"path {i}: {hops} cost={g.cost_of(path)} delay={g.delay_of(path)}")
+    if args.verify:
+        from repro.core.verify import verify_solution
+
+        report = verify_solution(g, s, t, k, bound, sol.paths)
+        status = "clean" if report.clean else f"ISSUES: {report.issues}"
+        ratio = (
+            f" ratio<= {report.approximation_ratio_upper_bound:.3f}"
+            if report.approximation_ratio_upper_bound is not None
+            else ""
+        )
+        print(f"independent audit: {status}{ratio}")
+        if not report.clean:
+            return 4
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.sweeps import Sweep, pivot, run_sweep
+
+    params: dict[str, list] = {}
+    for spec in args.param or []:
+        if "=" not in spec:
+            print(f"bad --param {spec!r}; expected name=v1,v2,...", file=sys.stderr)
+            return 2
+        name, raw = spec.split("=", 1)
+        values = []
+        for tok in raw.split(","):
+            try:
+                values.append(int(tok))
+            except ValueError:
+                values.append(float(tok))
+        params[name] = values
+    sweep = Sweep(
+        family=args.family,
+        family_params=params,
+        solvers=args.solver or ["bicameral"],
+        n_instances=args.n_instances,
+        seed=args.seed,
+    )
+    try:
+        records = run_sweep(sweep, parallel=args.parallel)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        pivot(
+            records,
+            row_key=lambda r: tuple(sorted((k, r.extra[k]) for k in params)),
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; choose from "
+              f"{sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    headers, rows = EXPERIMENTS[args.id]()
+    print(format_table(headers, rows, title=f"experiment {args.id}"))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.generators import gnp_digraph, grid_digraph, waxman_digraph
+    from repro.graph.weights import anticorrelated_weights, uniform_weights
+
+    if args.family == "er":
+        g = gnp_digraph(args.n, 0.35, rng=args.seed)
+        s, t = 0, g.n - 1
+    elif args.family == "grid":
+        side = max(2, int(args.n**0.5))
+        g, s, t = grid_digraph(side, side)
+    elif args.family == "waxman":
+        g, _ = waxman_digraph(args.n, rng=args.seed)
+        s, t = 0, g.n - 1
+    else:
+        print(f"unknown family {args.family!r}", file=sys.stderr)
+        return 2
+    if args.weights == "anticorrelated":
+        g = anticorrelated_weights(g, rng=args.seed + 1)
+    else:
+        g = uniform_weights(g, rng=args.seed + 1)
+    bound = interesting_delay_bound(g, s, t, args.k, tightness=args.tightness)
+    if bound is None:
+        print("generated instance has no interesting budget band; "
+              "try another seed", file=sys.stderr)
+        return 3
+    Path(args.output).write_text(
+        json.dumps(instance_to_dict(g, s, t, args.k, bound))
+    )
+    print(f"wrote {args.output}: n={g.n} m={g.m} k={args.k} D={bound}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="kRSP bifactor approximation (SPAA 2015)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a JSON instance")
+    p_solve.add_argument("instance", help="instance JSON path")
+    p_solve.add_argument("--phase1", default="lp_rounding",
+                         choices=["lp_rounding", "lagrangian", "minsum"])
+    p_solve.add_argument("--eps", type=float, default=None,
+                         help="run the (1+eps, 2+eps) polynomial variant")
+    p_solve.add_argument("--verify", action="store_true",
+                         help="independently audit the returned solution")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_sweep = sub.add_parser("sweep", help="run a parameter-grid sweep")
+    p_sweep.add_argument("family", help="workload family name")
+    p_sweep.add_argument("--param", action="append",
+                         help="grid axis, e.g. --param n=10,14")
+    p_sweep.add_argument("--solver", action="append",
+                         default=None, help="solver name (repeatable)")
+    p_sweep.add_argument("--n-instances", type=int, default=5)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--parallel", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_exp = sub.add_parser("experiment", help="run a registered experiment")
+    p_exp.add_argument("id", help="experiment id (f1, f2, e1..e9)")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_gen = sub.add_parser("generate", help="generate a random instance")
+    p_gen.add_argument("--family", default="er", choices=["er", "grid", "waxman"])
+    p_gen.add_argument("--weights", default="anticorrelated",
+                       choices=["anticorrelated", "uniform"])
+    p_gen.add_argument("--n", type=int, default=14)
+    p_gen.add_argument("--k", type=int, default=2)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--tightness", type=float, default=0.5)
+    p_gen.add_argument("-o", "--output", default="instance.json")
+    p_gen.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

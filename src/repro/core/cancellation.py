@@ -1,0 +1,249 @@
+"""Algorithm 1: the cycle-cancellation loop with the Lemma 12 monitor.
+
+Starting from phase-1 paths, repeat while the delay budget is violated:
+
+1. build the residual graph (both weights negated on reversed edges);
+2. collect bicameral candidates (:mod:`repro.core.search`);
+3. select one (type-0 first, then rate-certified type-1/2, then the
+   Algorithm 3 step-3 comparative fallback);
+4. ``oplus`` it into the solution, re-decompose, strip nonnegative cycles.
+
+Instrumentation records, per iteration, the cycle used and the evolving
+``r_i = DeltaD_i / DeltaC_i`` of Lemma 12, so experiment E5 can check the
+lemma's invariant (``r`` non-decreasing; ``DeltaD`` strictly shrinking on
+ties) directly against measured traces.
+
+``C_OPT`` handling: the exact value exists only in tests (via the MILP
+oracle). Production runs pass a certified *lower bound* (flow LP /
+Lagrangian dual), which makes the type-1 rate test stricter (safe) and the
+type-2 test looser (may accept a marginal cycle; convergence is then
+protected by the state-repetition guard and the iteration cap). The
+``|c(O)| <= C_OPT`` cap is replaced by a certified *upper* bound — the cost
+of the cheapest delay-feasible flow — which can only widen the cap and
+therefore never rejects the cycle Theorem 16 guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.core.bicameral import CycleType, select_candidate
+from repro.core.instance import KRSPInstance, PathSet
+from repro.core.residual import apply_residual_cycles, build_residual
+from repro.core.search import (
+    SearchStats,
+    find_bicameral_candidates_paper,
+    find_bicameral_cycle,
+)
+from repro.errors import (
+    InfeasibleInstanceError,
+    InvariantError,
+    IterationLimitError,
+)
+from repro.flow.decompose import decompose_flow, strip_improving_cycles
+
+#: Default hard cap on cancellation iterations. The theoretical bound is
+#: ``D * sum(c) * sum(d)`` (Lemma 13) — astronomically loose; measured
+#: iteration counts (experiment E5) are tiny, so this cap flags bugs, not
+#: hard instances.
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One cancellation step, for E5's Lemma 12 audit."""
+
+    iteration: int
+    cycle_type: CycleType
+    cycle_cost: int
+    cycle_delay: int
+    cost_after: int
+    delay_after: int
+    r_value: Fraction | None  # DeltaD/DeltaC before the step (None w/o bound)
+
+
+@dataclass
+class CancellationResult:
+    """Outcome of the cancellation phase."""
+
+    solution: PathSet
+    records: list[IterationRecord] = field(default_factory=list)
+    search_stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+
+def _r_value(
+    delay_bound: int,
+    cost_bound: Fraction | None,
+    sol: PathSet,
+) -> Fraction | None:
+    if cost_bound is None:
+        return None
+    delta_c = cost_bound - sol.cost
+    if delta_c <= 0:
+        return None
+    return Fraction(delay_bound - sol.delay) / delta_c
+
+
+def cancel_to_feasibility(
+    inst: KRSPInstance,
+    start: PathSet,
+    cost_lower_bound: Fraction | None = None,
+    opt_cost: int | None = None,
+    cost_cap: int | None = None,
+    b_max: int | None = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    strict_monitor: bool = False,
+    finder: str = "production",
+) -> CancellationResult:
+    """Drive ``start`` to delay feasibility via bicameral cancellation.
+
+    Parameters
+    ----------
+    finder:
+        ``"production"`` (shifted auxiliary graphs, early-exit sweep) or
+        ``"paper_literal"`` (per-anchor ``H_v^{+/-}(B)`` with LP (6) —
+        Algorithm 3 exactly as printed; much slower, kept for fidelity).
+    cost_lower_bound:
+        Certified ``<= C_OPT`` estimate feeding the Definition-10 rate
+        tests (see module docstring). Ignored when ``opt_cost`` is given.
+    opt_cost:
+        The exact optimum (tests only): enables the paper's literal
+        Definition 10 and the strict Lemma 12 monitor.
+    cost_cap:
+        Upper bound standing in for the ``|c(O)| <= C_OPT`` cap; ``None``
+        disables the cap (never rejects anything). With ``opt_cost`` given
+        the cap defaults to it.
+    strict_monitor:
+        Raise :class:`InvariantError` when a step violates Lemma 12 —
+        meaningful only with ``opt_cost`` (the lemma is stated against the
+        true ``DeltaC``).
+
+    Raises
+    ------
+    InfeasibleInstanceError
+        Algorithm 1 step 2(a): delay-infeasible with no bicameral cycle.
+    IterationLimitError
+        Iteration cap exceeded or a solution state repeated.
+    """
+    g = inst.graph
+    D = inst.delay_bound
+    sol = start
+    result = CancellationResult(solution=sol)
+
+    if opt_cost is not None:
+        cost_bound: Fraction | None = Fraction(opt_cost)
+        if cost_cap is None:
+            cost_cap = opt_cost
+    else:
+        cost_bound = cost_lower_bound
+
+    seen_states: set[tuple[int, ...]] = {tuple(sorted(sol.edge_ids))}
+
+    while sol.delay > D:
+        if result.iterations >= max_iterations:
+            raise IterationLimitError(
+                f"no feasibility after {max_iterations} cancellations "
+                f"(delay {sol.delay} > {D})"
+            )
+        r_before = _r_value(D, cost_bound, sol)
+
+        residual = build_residual(g, sol.edge_ids)
+        delta_d = D - sol.delay  # < 0 here
+        delta_c_int: int | None = None
+        if cost_bound is not None:
+            # Flooring a positive Fraction bound only tightens the type-1
+            # rate test (smaller positive DeltaC) — safe direction.
+            delta_c_int = int(cost_bound) - sol.cost
+            if delta_c_int <= 0:
+                delta_c_int = None
+        delta_c_soft: int | None = None
+        if cost_cap is not None and cost_cap - sol.cost > 0:
+            delta_c_soft = cost_cap - sol.cost
+        if finder == "paper_literal":
+            candidates = find_bicameral_candidates_paper(
+                residual, delta_d, stats=result.search_stats
+            )
+            picked = select_candidate(
+                candidates,
+                delta_d,
+                delta_c_int,
+                cost_cap,
+                type2_only_if_no_type1=opt_cost is None,
+            )
+            if picked is None and delta_c_soft is not None:
+                picked = select_candidate(
+                    candidates,
+                    delta_d,
+                    delta_c_soft,
+                    cost_cap,
+                    type2_only_if_no_type1=opt_cost is None,
+                )
+        else:
+            picked = find_bicameral_cycle(
+                residual,
+                delta_d,
+                delta_c_int,
+                cost_cap,
+                b_max=b_max,
+                stats=result.search_stats,
+                delta_c_soft=delta_c_soft,
+                # With estimated bounds a "certified" type-2 can spuriously
+                # undo the previous type-1 step; rank it behind type-1 then.
+                type2_only_if_no_type1=opt_cost is None,
+            )
+        if picked is None:
+            raise InfeasibleInstanceError(
+                "delay bound violated but the residual graph contains no "
+                "bicameral cycle (Algorithm 1 step 2(a))"
+            )
+        cycle, ctype = picked
+
+        new_edges = apply_residual_cycles(sol.edge_ids, residual, [list(cycle.edges)])
+        paths, cycles_left = decompose_flow(g, new_edges, inst.s, inst.t)
+        strip_improving_cycles(g, paths, cycles_left)
+        new_sol = inst.path_set(paths)
+
+        state = tuple(sorted(new_sol.edge_ids))
+        if state in seen_states:
+            raise IterationLimitError(
+                "cancellation revisited a previous solution state — "
+                "rate estimates too loose to guarantee progress"
+            )
+        seen_states.add(state)
+
+        result.records.append(
+            IterationRecord(
+                iteration=result.iterations + 1,
+                cycle_type=ctype,
+                cycle_cost=cycle.cost,
+                cycle_delay=cycle.delay,
+                cost_after=new_sol.cost,
+                delay_after=new_sol.delay,
+                r_value=r_before,
+            )
+        )
+
+        if strict_monitor and r_before is not None:
+            r_after = _r_value(D, cost_bound, new_sol)
+            still_infeasible = new_sol.delay > D
+            if still_infeasible and r_after is not None:
+                delta_d_after = D - new_sol.delay
+                if r_after < r_before or (
+                    r_after == r_before and not delta_d_after > delta_d
+                ):
+                    raise InvariantError(
+                        f"Lemma 12 violated at iteration {result.iterations}: "
+                        f"r {r_before} -> {r_after}, "
+                        f"DeltaD {delta_d} -> {delta_d_after}"
+                    )
+
+        sol = new_sol
+        result.solution = sol
+
+    result.solution = sol
+    return result

@@ -1,0 +1,102 @@
+"""Decomposing balanced edge sets and closed walks into simple cycles.
+
+Two decomposition duties in the cancellation machinery:
+
+* **Proposition 8**: the symmetric difference of two k-path systems (one
+  reversed) is a perfectly balanced residual edge set, hence a disjoint
+  union of cycles. :func:`decompose_into_cycles` peels them.
+* **Candidate extraction**: the auxiliary-graph searches return closed
+  walks / fractional circulations over the residual graph; a closed walk
+  through repeated vertices splits into simple cycles whose cost/delay sums
+  telescope. :func:`split_closed_walk` performs the split.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.validate import degree_imbalance
+
+
+def decompose_into_cycles(g: DiGraph, edge_ids) -> list[list[int]]:
+    """Peel a perfectly balanced edge set into edge-disjoint cycles.
+
+    Deterministic (lowest edge id first). Raises when the set is not
+    balanced at every vertex.
+    """
+    eids = sorted(int(e) for e in edge_ids)
+    if len(set(eids)) != len(eids):
+        raise GraphError("cycle decomposition input has duplicate edges")
+    if degree_imbalance(g, eids).any():
+        raise GraphError("edge set is not balanced — not a union of cycles")
+    out: dict[int, list[int]] = {}
+    for e in eids:
+        out.setdefault(int(g.tail[e]), []).append(e)
+    for stack in out.values():
+        stack.sort(reverse=True)
+    remaining = len(eids)
+    cycles: list[list[int]] = []
+    while remaining:
+        anchor = min(u for u, stack in out.items() if stack)
+        walk: list[int] = []
+        cur = anchor
+        while True:
+            stack = out.get(cur)
+            if not stack:
+                raise GraphError("peel stuck — imbalance slipped through")
+            e = stack.pop()
+            walk.append(e)
+            remaining -= 1
+            cur = int(g.head[e])
+            if cur == anchor:
+                break
+            if len(walk) > len(eids):
+                raise GraphError("peel did not terminate")
+        # The anchored walk may itself revisit vertices; split it fully.
+        cycles.extend(split_closed_walk(g, walk))
+    return cycles
+
+
+def split_closed_walk(g: DiGraph, walk: list[int]) -> list[list[int]]:
+    """Split a closed walk into simple cycles (each visits a vertex once).
+
+    Standard stack algorithm: push edges, and whenever the walk returns to
+    a vertex already on the stack, pop the loop just closed as one cycle.
+    The edge multiset is preserved exactly, so cost/delay sums over the
+    output equal those of the input walk.
+    """
+    if not walk:
+        return []
+    start = int(g.tail[walk[0]])
+    # Verify closedness.
+    cur = start
+    for e in walk:
+        if int(g.tail[e]) != cur:
+            raise GraphError("not a contiguous walk")
+        cur = int(g.head[e])
+    if cur != start:
+        raise GraphError("walk is not closed")
+
+    cycles: list[list[int]] = []
+    stack: list[int] = []  # edges
+    on_stack_pos: dict[int, int] = {start: 0}  # vertex -> stack depth
+    for e in walk:
+        stack.append(e)
+        v = int(g.head[e])
+        if v in on_stack_pos:
+            depth = on_stack_pos[v]
+            cycle = stack[depth:]
+            del stack[depth:]
+            # Remove vertices of the popped cycle from the position map
+            # (they are no longer on the open walk), except v itself.
+            cur2 = v
+            for ce in cycle:
+                u2 = int(g.tail[ce])
+                if u2 != v:
+                    on_stack_pos.pop(u2, None)
+            cycles.append(cycle)
+        else:
+            on_stack_pos[v] = len(stack)
+    if stack:
+        raise GraphError("walk did not fully decompose — internal error")
+    return cycles

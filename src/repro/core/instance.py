@@ -1,0 +1,101 @@
+"""Problem and solution types for kRSP.
+
+:class:`KRSPInstance` is the immutable problem statement (Definition 2 of
+the paper); :class:`PathSet` is a candidate solution — ``k`` edge-disjoint
+``s -> t`` paths — with exact integer totals. Both validate eagerly so that
+algorithm code can assume well-formed inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.validate import check_disjoint_paths
+
+
+@dataclass(frozen=True)
+class KRSPInstance:
+    """A kRSP problem: graph, terminals, path count, delay budget.
+
+    Attributes mirror Definition 2: digraph ``G`` with nonnegative integral
+    cost/delay, distinct ``s, t``, ``k >= 1`` edge-disjoint paths wanted,
+    total delay budget ``delay_bound`` (the paper's ``D``).
+    """
+
+    graph: DiGraph
+    s: int
+    t: int
+    k: int
+    delay_bound: int
+
+    def __post_init__(self) -> None:
+        g = self.graph
+        g.require_nonnegative()
+        if not (0 <= self.s < g.n and 0 <= self.t < g.n):
+            raise GraphError("terminals outside vertex range")
+        if self.s == self.t:
+            raise GraphError("s and t must be distinct (Definition 2)")
+        if self.k < 1:
+            raise GraphError("k must be at least 1")
+        if self.delay_bound < 0:
+            raise GraphError("delay bound must be nonnegative")
+
+    def path_set(self, paths: list[list[int]]) -> "PathSet":
+        """Wrap raw edge-id paths into a validated :class:`PathSet`."""
+        return PathSet.from_paths(self.graph, self.s, self.t, self.k, paths)
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """``k`` edge-disjoint ``s -> t`` paths with exact totals.
+
+    Construct via :meth:`from_paths` (validates) — the raw constructor is
+    for internal use where validation already happened.
+    """
+
+    paths: tuple[tuple[int, ...], ...]
+    cost: int
+    delay: int
+
+    @classmethod
+    def from_paths(
+        cls,
+        g: DiGraph,
+        s: int,
+        t: int,
+        k: int,
+        paths: list[list[int]],
+    ) -> "PathSet":
+        check_disjoint_paths(g, [list(p) for p in paths], s, t, k=k)
+        flat = [e for p in paths for e in p]
+        return cls(
+            paths=tuple(tuple(p) for p in paths),
+            cost=g.cost_of(flat),
+            delay=g.delay_of(flat),
+        )
+
+    @property
+    def edge_ids(self) -> list[int]:
+        """All edge ids across the paths (disjoint, so no duplicates)."""
+        return [e for p in self.paths for e in p]
+
+    def is_delay_feasible(self, delay_bound: int) -> bool:
+        """Does the solution respect the delay budget?"""
+        return self.delay <= delay_bound
+
+    def bifactor(self, delay_bound: int, opt_cost: int) -> tuple[float, float]:
+        """Measured bifactor ``(alpha, beta)`` against a known optimum.
+
+        ``alpha = delay / D`` and ``beta = cost / C_OPT`` with the
+        conventions 0/0 = 0 and x/0 = inf for x > 0 (degenerate instances
+        with zero budget or zero optimal cost appear in tests).
+        """
+
+        def div(a: int, b: int) -> float:
+            if b == 0:
+                return 0.0 if a == 0 else float("inf")
+            return a / b
+
+        return div(self.delay, delay_bound), div(self.cost, opt_cost)

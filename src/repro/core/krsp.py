@@ -1,0 +1,247 @@
+"""Top-level kRSP solver facade.
+
+:func:`solve_krsp` wires the whole pipeline together:
+
+1. structural feasibility (``k`` disjoint paths at all?) via max-flow;
+2. optional Theorem-4 epsilon-scaling (polynomial mode);
+3. a phase-1 provider (LP rounding by default — the paper's Algorithm 1
+   step 1);
+4. the bicameral cycle-cancellation loop (Algorithm 1 step 2).
+
+The returned :class:`KRSPSolution` carries the paths, exact totals, the
+certified cost lower bound, and full per-iteration instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro._util.timer import Timer
+from repro.core.cancellation import (
+    DEFAULT_MAX_ITERATIONS,
+    CancellationResult,
+    IterationRecord,
+    cancel_to_feasibility,
+)
+from repro.core.instance import KRSPInstance, PathSet
+from repro.core.phase1 import PROVIDERS, Phase1Result
+from repro.core.scaling import scale_instance
+from repro.errors import GraphError, InfeasibleInstanceError
+from repro.flow.maxflow import has_k_disjoint_paths
+from repro.lp.flow_lp import solve_flow_lp
+from repro.flow.mincost import min_cost_k_flow
+from repro.flow.decompose import decompose_flow
+from repro.graph.digraph import DiGraph
+
+
+@dataclass
+class KRSPSolution:
+    """Everything :func:`solve_krsp` learned.
+
+    Attributes
+    ----------
+    paths:
+        ``k`` edge-disjoint s-t paths (edge-id lists, valid in the original
+        graph even when epsilon-scaling ran).
+    cost, delay:
+        Exact totals in *original* units.
+    delay_bound:
+        The instance's budget ``D`` (for convenience).
+    delay_feasible:
+        ``delay <= D``. Always true without scaling; with scaling the
+        guarantee is ``delay <= (1 + eps1) * D``.
+    cost_lower_bound:
+        Certified ``<= C_OPT`` — the max of the phase-1 bound and the
+        flow-LP optimum (``None`` only after scaling, where scaled-unit
+        bounds do not map back).
+    iterations:
+        Cancellation steps taken.
+    records:
+        Per-iteration audit trail (Lemma 12 instrumentation).
+    provider:
+        Phase-1 provider name.
+    scaled:
+        Whether Theorem-4 scaling was applied.
+    timings:
+        Wall-clock seconds per phase.
+    """
+
+    paths: list[list[int]]
+    cost: int
+    delay: int
+    delay_bound: int
+    delay_feasible: bool
+    cost_lower_bound: Fraction | None
+    iterations: int
+    records: list[IterationRecord] = field(default_factory=list)
+    provider: str = ""
+    scaled: bool = False
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+def _cost_cap_upper_bound(inst: KRSPInstance) -> int | None:
+    """Cheapest delay-feasible flow's cost: a certified C_OPT upper bound.
+
+    Found by minimizing delay (cost tie-broken); if even that flow misses
+    the budget the instance is infeasible and the caller will discover it,
+    so return ``None`` (cap disabled).
+    """
+    g = inst.graph
+    big = g.total_cost() + 1
+    res = min_cost_k_flow(
+        g, inst.s, inst.t, inst.k, weight=g.delay * big + g.cost
+    )
+    if res is None:
+        return None
+    eids = np.nonzero(res.used)[0]
+    paths, _ = decompose_flow(g, eids, inst.s, inst.t)
+    flat = [e for p in paths for e in p]
+    if g.delay_of(flat) > inst.delay_bound:
+        return None
+    return g.cost_of(flat)
+
+
+def solve_krsp(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    phase1: str = "lp_rounding",
+    eps: tuple[float, float] | float | None = None,
+    b_max: int | None = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    opt_cost: int | None = None,
+    strict_monitor: bool = False,
+    finder: str = "production",
+) -> KRSPSolution:
+    """Solve kRSP with the paper's bifactor algorithm.
+
+    Parameters
+    ----------
+    g, s, t, k, delay_bound:
+        The instance (Definition 2).
+    phase1:
+        Provider name: ``"lp_rounding"`` (paper default), ``"lagrangian"``,
+        or ``"minsum"``.
+    eps:
+        ``None`` runs the pseudo-polynomial Lemma-3 algorithm (bifactor
+        ``(1, 2)``); a float or ``(eps1, eps2)`` pair runs the Theorem-4
+        polynomial variant (bifactor ``(1 + eps1, 2 + eps2)``).
+    b_max, max_iterations:
+        Search radius / iteration caps (see
+        :mod:`repro.core.cancellation`).
+    opt_cost, strict_monitor, finder:
+        Instrumentation / fidelity knobs — see
+        :func:`cancel_to_feasibility`.
+
+    Raises
+    ------
+    InfeasibleInstanceError
+        When no ``k`` disjoint delay-feasible paths exist.
+    """
+    timer = Timer()
+    inst = KRSPInstance(graph=g, s=s, t=t, k=k, delay_bound=delay_bound)
+
+    with timer.section("feasibility"):
+        if not has_k_disjoint_paths(g, s, t, k):
+            raise InfeasibleInstanceError(
+                f"graph admits fewer than k={k} edge-disjoint s-t paths"
+            )
+        # Exact feasibility oracle: the minimum total delay over k disjoint
+        # paths is a plain min-cost-flow problem under the delay weight; if
+        # even that exceeds D, no solution exists and the cancellation loop
+        # must never start.
+        min_delay_flow = min_cost_k_flow(g, s, t, k, weight=g.delay)
+        if min_delay_flow is not None and min_delay_flow.weight > delay_bound:
+            raise InfeasibleInstanceError(
+                f"minimum achievable total delay {min_delay_flow.weight} "
+                f"exceeds the budget {delay_bound}"
+            )
+
+    work_inst = inst
+    scaled = False
+    theta = None
+    if eps is not None:
+        eps1, eps2 = (eps, eps) if isinstance(eps, (int, float)) else eps
+        with timer.section("scaling"):
+            # Cost-grid estimate C_hat: the min-sum (delay-oblivious) cost,
+            # a certified lower bound on C_OPT as Theorem 4's guarantee wants.
+            from repro.flow.suurballe import suurballe_k_paths
+
+            base_paths = suurballe_k_paths(g, s, t, k)
+            if base_paths is None:
+                raise InfeasibleInstanceError("k disjoint paths vanished")
+            c_hat = max(1, sum(g.cost_of(p) for p in base_paths))
+            theta = scale_instance(inst, eps1, eps2, c_hat)
+            work_inst = theta.instance
+            scaled = True
+
+    with timer.section("phase1"):
+        provider = PROVIDERS[phase1]
+        p1: Phase1Result = provider(work_inst)
+
+    with timer.section("lower_bound"):
+        # The flow-LP optimum is usually the tightest certified lower bound
+        # and is cheap next to one auxiliary-graph solve; the tighter the
+        # bound, the earlier the bicameral sweep can stop (rate tests
+        # certify sooner). Combine it with whatever phase 1 learned.
+        lower_bound = p1.cost_lower_bound
+        lp = solve_flow_lp(
+            work_inst.graph,
+            work_inst.s,
+            work_inst.t,
+            work_inst.k,
+            work_inst.delay_bound,
+        )
+        if lp is None:
+            raise InfeasibleInstanceError("delay-budgeted flow LP infeasible")
+        # Shave solver tolerance so float noise can never push the
+        # "certified" bound above the true optimum.
+        lp_bound = Fraction(max(0.0, lp.cost - 1e-6)).limit_denominator(10**9)
+        lower_bound = lp_bound if lower_bound is None else max(lower_bound, lp_bound)
+
+    with timer.section("cost_cap"):
+        cap = _cost_cap_upper_bound(work_inst)
+
+    with timer.section("cancel"):
+        result: CancellationResult = cancel_to_feasibility(
+            work_inst,
+            p1.solution,
+            cost_lower_bound=lower_bound,
+            opt_cost=opt_cost if not scaled else None,
+            cost_cap=cap,
+            b_max=b_max,
+            max_iterations=max_iterations,
+            strict_monitor=strict_monitor and not scaled,
+            finder=finder,
+        )
+
+    final_paths = [list(p) for p in result.solution.paths]
+    flat = [e for p in final_paths for e in p]
+    cost = g.cost_of(flat)
+    delay = g.delay_of(flat)
+
+    lb = lower_bound
+    if scaled and lb is not None and theta is not None:
+        # Scaled-units bound maps back conservatively: c'(OPT) >= lb implies
+        # C_OPT >= theta_c * lb is NOT valid (floors shrink); only the
+        # unscaled-provider bound survives, so drop it.
+        lb = None
+
+    return KRSPSolution(
+        paths=final_paths,
+        cost=cost,
+        delay=delay,
+        delay_bound=delay_bound,
+        delay_feasible=delay <= delay_bound,
+        cost_lower_bound=lb,
+        iterations=result.iterations,
+        records=result.records,
+        provider=p1.provider,
+        scaled=scaled,
+        timings=timer.as_dict(),
+    )

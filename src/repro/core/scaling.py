@@ -1,0 +1,121 @@
+"""Epsilon-scaling of kRSP instances (Theorem 4, Lorenz–Raz style [7, 17]).
+
+The pseudo-polynomial Algorithm 1 costs time polynomial in the numeric
+magnitudes (Lemma 13 / Theorem 17). Theorem 4 makes it polynomial by
+coarsening the weights:
+
+    d'(e) = floor( d(e) / theta_d ),   theta_d = eps1 * D / E
+    c'(e) = floor( c(e) / theta_c ),   theta_c = eps2 * C_hat / E
+
+where ``E = k * (n - 1)`` bounds the number of edges in any solution (each
+of the ``k`` paths is simple). The paper divides by ``n``; using the exact
+solution-size bound ``E`` is what makes the mapped-back guarantees come out
+to exactly ``(1 + eps1, 2 + eps2)``:
+
+* any original-feasible solution stays feasible scaled (floors only shrink),
+  so scaled-OPT <= scaled(original OPT);
+* a scaled solution with ``d'(S) <= D' = floor(D / theta_d)`` maps back to
+  ``d(S) < theta_d * (d'(S) + E) <= D + eps1 * D``;
+* a scaled solution with ``c'(S) <= 2 * C'_OPT`` maps back to
+  ``c(S) < 2 * C_OPT + eps2 * C_hat <= (2 + eps2) * C_OPT`` whenever the
+  estimate ``C_hat <= C_OPT`` (use a certified lower bound).
+
+All scale arithmetic is exact (Fractions / integer cross-multiplication).
+Degenerate budgets (``theta <= 1``) skip scaling for that criterion — the
+instance is already small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.instance import KRSPInstance
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class ScaledInstance:
+    """A scaled instance plus the factors needed to interpret results.
+
+    ``instance`` shares topology (and therefore edge ids) with
+    ``original`` — paths found on the scaled instance are directly valid
+    on the original graph.
+    """
+
+    instance: KRSPInstance
+    original: KRSPInstance
+    theta_d: Fraction  # 1 when delay scaling was skipped
+    theta_c: Fraction  # 1 when cost scaling was skipped
+
+    @property
+    def solution_size_bound(self) -> int:
+        return self.original.k * (self.original.graph.n - 1)
+
+
+def _floor_scale(values: np.ndarray, theta: Fraction) -> np.ndarray:
+    """Exact ``floor(v / theta)`` elementwise for positive rational theta."""
+    num, den = theta.numerator, theta.denominator
+    return (values * den) // num
+
+
+def scale_instance(
+    inst: KRSPInstance,
+    eps1: float | Fraction,
+    eps2: float | Fraction,
+    cost_estimate: int | Fraction,
+) -> ScaledInstance:
+    """Build the Theorem 4 scaled instance.
+
+    Parameters
+    ----------
+    eps1, eps2:
+        The delay / cost relaxations (positive).
+    cost_estimate:
+        ``C_hat`` — ideally a certified lower bound on ``C_OPT`` (the
+        mapped-back cost guarantee degrades linearly in any overshoot).
+    """
+    f1 = Fraction(eps1).limit_denominator(10**6)
+    f2 = Fraction(eps2).limit_denominator(10**6)
+    if f1 <= 0 or f2 <= 0:
+        raise GraphError("eps1 and eps2 must be positive")
+    g = inst.graph
+    E = inst.k * (g.n - 1)
+    if E <= 0:
+        raise GraphError("degenerate instance: no room for any path")
+
+    theta_d = f1 * inst.delay_bound / E
+    theta_c = Fraction(cost_estimate) * f2 / E
+
+    if theta_d > 1:
+        delay = _floor_scale(g.delay, theta_d)
+        new_bound = (inst.delay_bound * theta_d.denominator) // theta_d.numerator
+    else:
+        theta_d = Fraction(1)
+        delay = g.delay.copy()
+        new_bound = inst.delay_bound
+
+    if theta_c > 1:
+        cost = _floor_scale(g.cost, theta_c)
+    else:
+        theta_c = Fraction(1)
+        cost = g.cost.copy()
+
+    scaled = KRSPInstance(
+        graph=g.with_weights(cost, delay),
+        s=inst.s,
+        t=inst.t,
+        k=inst.k,
+        delay_bound=new_bound,
+    )
+    return ScaledInstance(
+        instance=scaled, original=inst, theta_d=theta_d, theta_c=theta_c
+    )
+
+
+def mapped_back_delay_bound(scaled: ScaledInstance) -> Fraction:
+    """The guaranteed original-units delay of any scaled-feasible solution:
+    ``theta_d * (D' + E)`` — at most ``(1 + eps1) * D``."""
+    return scaled.theta_d * (scaled.instance.delay_bound + scaled.solution_size_bound)

@@ -1,0 +1,118 @@
+"""Polynomial special cases of kRSP catalogued in the paper's Section 1.2.
+
+The paper situates kRSP among its special cases:
+
+* **Min-sum disjoint paths** — delay constraint removed: polynomially
+  solvable (Suurballe [20, 21]); exposed as
+  :func:`repro.flow.suurballe.suurballe_k_paths` and re-exported here for
+  completeness.
+* **Min-Max disjoint paths** — zero costs, minimize the *longer* path's
+  delay: NP-complete with best possible approximation factor 2 in digraphs
+  [16], achieved by the min-sum algorithm [20, 21].
+  :func:`min_max_disjoint_paths` implements that classical reduction.
+* **Length-bounded disjoint paths** — zero costs, a per-path delay bound:
+  NP-complete [16]; :func:`length_bounded_paths` gives the tri-state
+  answer the min-sum relaxation supports (solved / certified infeasible /
+  undecided-with-witness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import InfeasibleInstanceError
+from repro.flow.suurballe import suurballe_k_paths
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class MinMaxResult:
+    """Result of the min-sum-based Min-Max approximation.
+
+    Attributes
+    ----------
+    paths:
+        ``k`` disjoint paths of minimum *total* delay.
+    max_delay:
+        The longest path's delay — at most ``factor * OPT_minmax``.
+    factor:
+        The proven approximation factor: 2 for ``k = 2`` (tight, [16]),
+        ``k`` in general (the longer path is at most the total, which is
+        at most ``k`` times the optimal maximum).
+    lower_bound:
+        ``ceil(total / k)`` — a certified lower bound on ``OPT_minmax``.
+    """
+
+    paths: list[list[int]]
+    max_delay: int
+    factor: int
+    lower_bound: int
+
+
+def min_max_disjoint_paths(g: DiGraph, s: int, t: int, k: int) -> MinMaxResult:
+    """Approximate Min-Max disjoint paths via the min-sum algorithm.
+
+    The classical argument: the min-sum solution's total delay is at most
+    the total of the optimal Min-Max solution, which is at most
+    ``k * OPT_minmax``; hence its longest path is within factor ``k``
+    (factor 2 when ``k = 2`` — the best possible in digraphs unless P=NP).
+    """
+    paths = suurballe_k_paths(g, s, t, k, weight=g.delay)
+    if paths is None:
+        raise InfeasibleInstanceError(f"fewer than k={k} disjoint paths exist")
+    delays = [g.delay_of(p) for p in paths]
+    total = sum(delays)
+    return MinMaxResult(
+        paths=paths,
+        max_delay=max(delays) if delays else 0,
+        factor=2 if k == 2 else max(2, k),
+        lower_bound=-(-total // k) if k else 0,
+    )
+
+
+class LengthBoundedStatus(Enum):
+    """Tri-state outcome of the length-bounded relaxation."""
+
+    SOLVED = "solved"  # every returned path meets the per-path bound
+    INFEASIBLE = "infeasible"  # certified: even the total is too large
+    UNDECIDED = "undecided"  # NP-hard territory: relaxation can't tell
+
+
+@dataclass(frozen=True)
+class LengthBoundedResult:
+    status: LengthBoundedStatus
+    paths: list[list[int]] | None
+    max_delay: int | None
+
+
+def length_bounded_paths(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    per_path_bound: int,
+) -> LengthBoundedResult:
+    """Decide the length-bounded disjoint path problem as far as the
+    polynomial min-sum relaxation allows.
+
+    * If the min-total-delay solution already keeps every path within the
+      bound: **solved** (it is a witness).
+    * If even the minimum *total* exceeds ``k * bound``: **infeasible**
+      (any per-path-feasible solution would have total <= k * bound).
+    * Otherwise: **undecided** — the underlying decision problem is
+      NP-complete [16], and this relaxation returns its best witness.
+    """
+    res = min_max_disjoint_paths(g, s, t, k)
+    if res.max_delay <= per_path_bound:
+        return LengthBoundedResult(
+            status=LengthBoundedStatus.SOLVED, paths=res.paths, max_delay=res.max_delay
+        )
+    total = sum(g.delay_of(p) for p in res.paths)
+    if total > k * per_path_bound:
+        return LengthBoundedResult(
+            status=LengthBoundedStatus.INFEASIBLE, paths=None, max_delay=None
+        )
+    return LengthBoundedResult(
+        status=LengthBoundedStatus.UNDECIDED, paths=res.paths, max_delay=res.max_delay
+    )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class. Algorithm-level failure modes get
+dedicated subclasses because callers typically need to distinguish
+"your instance has no solution" (:class:`InfeasibleInstanceError`) from
+"the library hit an internal invariant violation" (:class:`InvariantError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad endpoints, negative weights
+    where nonnegative ones are required, inconsistent array lengths)."""
+
+
+class InfeasibleInstanceError(ReproError):
+    """The kRSP instance admits no solution.
+
+    Raised in three situations, mirroring DESIGN.md section 5:
+
+    * fewer than ``k`` edge-disjoint ``s``-``t`` paths exist (structural),
+    * the fractional delay-budgeted flow LP is infeasible, or
+    * Algorithm 1 step 2(a): the current solution violates the delay bound
+      but the residual graph contains no bicameral cycle.
+    """
+
+
+class SolverError(ReproError):
+    """An underlying numerical solver (LP/MILP) failed unexpectedly."""
+
+
+class InvariantError(ReproError):
+    """An internal invariant was violated (e.g. the Lemma 12 progress
+    monitor observed a non-improving iteration). Indicates a bug, not a
+    property of the input instance."""
+
+
+class IterationLimitError(ReproError):
+    """The cycle-cancellation loop exceeded its iteration cap before
+    reaching delay feasibility."""
+
+
+class NegativeCycleError(ReproError):
+    """A shortest-path routine that requires the absence of negative
+    cycles detected one. Carries the offending cycle when available."""
+
+    def __init__(self, message: str, cycle: list[int] | None = None):
+        super().__init__(message)
+        #: Edge ids of a witnessing negative cycle, if the caller asked
+        #: for extraction.
+        self.cycle = cycle

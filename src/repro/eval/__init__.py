@@ -1,0 +1,37 @@
+"""Evaluation harness: workloads, metrics, experiment registry E1-E9 + figures."""
+
+from repro.eval.harness import SolverFn, TrialRecord, group_by, run_trials
+from repro.eval.metrics import QualityReport, measure_quality, summarize
+from repro.eval.reporting import format_series, format_table, format_trace
+from repro.eval.workloads import (
+    WORKLOADS,
+    WorkloadInstance,
+    interesting_delay_bound,
+)
+from repro.eval.experiments import EXPERIMENTS, figure1_instance, figure2_instance
+from repro.eval.parallel import register_solver, run_trials_parallel
+from repro.eval.sweeps import Sweep, pivot, run_sweep
+
+__all__ = [
+    "SolverFn",
+    "TrialRecord",
+    "group_by",
+    "run_trials",
+    "QualityReport",
+    "measure_quality",
+    "summarize",
+    "format_series",
+    "format_table",
+    "format_trace",
+    "WORKLOADS",
+    "WorkloadInstance",
+    "interesting_delay_bound",
+    "EXPERIMENTS",
+    "figure1_instance",
+    "figure2_instance",
+    "register_solver",
+    "run_trials_parallel",
+    "Sweep",
+    "pivot",
+    "run_sweep",
+]

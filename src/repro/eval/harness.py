@@ -1,0 +1,90 @@
+"""Experiment runner: execute solvers over workloads, collect records.
+
+The harness is deliberately dumb plumbing: a *trial* is (instance, solver
+name, callable); the runner times it, captures totals or the failure mode,
+and hands back flat records that experiments aggregate. Nothing here knows
+what a bicameral cycle is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.eval.workloads import WorkloadInstance
+
+
+@dataclass
+class TrialRecord:
+    """One (instance, solver) execution."""
+
+    workload: str
+    seed: int
+    solver: str
+    n: int
+    m: int
+    k: int
+    delay_bound: int
+    status: str  # "ok" | "infeasible" | "error"
+    cost: int | None = None
+    delay: int | None = None
+    seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+#: A solver adapter: (instance) -> (cost, delay, extra-dict).
+SolverFn = Callable[[WorkloadInstance], tuple[int, int, dict[str, Any]]]
+
+
+def run_trials(
+    instances: Iterable[WorkloadInstance],
+    solvers: dict[str, SolverFn],
+) -> list[TrialRecord]:
+    """Run every solver on every instance; failures become records, not
+    crashes (a baseline dying on an instance is a data point)."""
+    records: list[TrialRecord] = []
+    for inst in instances:
+        for name, fn in solvers.items():
+            start = time.perf_counter()
+            try:
+                cost, delay, extra = fn(inst)
+                status = "ok"
+            except ReproError as exc:
+                cost = delay = None
+                extra = {"error": f"{type(exc).__name__}: {exc}"}
+                status = (
+                    "infeasible"
+                    if type(exc).__name__ == "InfeasibleInstanceError"
+                    else "error"
+                )
+            seconds = time.perf_counter() - start
+            records.append(
+                TrialRecord(
+                    workload=inst.name,
+                    seed=inst.seed,
+                    solver=name,
+                    n=inst.graph.n,
+                    m=inst.graph.m,
+                    k=inst.k,
+                    delay_bound=inst.delay_bound,
+                    status=status,
+                    cost=cost,
+                    delay=delay,
+                    seconds=seconds,
+                    extra=extra,
+                )
+            )
+    return records
+
+
+def group_by(
+    records: list[TrialRecord],
+    key: Callable[[TrialRecord], Any],
+) -> dict[Any, list[TrialRecord]]:
+    """Stable grouping helper for aggregation."""
+    out: dict[Any, list[TrialRecord]] = {}
+    for r in records:
+        out.setdefault(key(r), []).append(r)
+    return out

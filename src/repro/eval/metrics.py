@@ -1,0 +1,100 @@
+"""Quality metrics for kRSP solutions against ground truth or bounds.
+
+Central question for every experiment: how close is a solution's cost to
+``C_OPT`` and its delay to ``D``? On small instances the MILP oracle
+provides ``C_OPT`` exactly; above that, the flow-LP optimum is the
+normalizer (a certified lower bound, so reported ratios are upper bounds on
+the true ones — the conservative direction for an approximation paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.lp.flow_lp import solve_flow_lp
+from repro.lp.milp import solve_krsp_milp
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Measured bifactor of one solution on one instance.
+
+    Attributes
+    ----------
+    cost, delay:
+        The solution's totals.
+    opt_cost:
+        Exact optimum when available, else ``None``.
+    lp_bound:
+        Fractional lower bound on ``C_OPT`` (``None`` if the LP was
+        skipped or infeasible).
+    alpha:
+        ``delay / D`` (the bifactor's first component).
+    beta:
+        ``cost / opt_cost`` when exact, else ``cost / lp_bound``
+        (an upper bound on the true beta). ``inf`` when no normalizer.
+    beta_is_exact:
+        Whether ``beta`` used the exact optimum.
+    """
+
+    cost: int
+    delay: int
+    opt_cost: int | None
+    lp_bound: float | None
+    alpha: float
+    beta: float
+    beta_is_exact: bool
+
+
+def measure_quality(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    cost: int,
+    delay: int,
+    use_milp: bool = True,
+    milp_time_limit: float | None = 30.0,
+) -> QualityReport:
+    """Normalize a solution's totals against the best available oracle."""
+    opt_cost: int | None = None
+    if use_milp:
+        exact = solve_krsp_milp(g, s, t, k, delay_bound, time_limit=milp_time_limit)
+        if exact is not None:
+            opt_cost = exact.cost
+    lp = solve_flow_lp(g, s, t, k, delay_bound)
+    lp_bound = lp.cost if lp is not None else None
+
+    alpha = delay / delay_bound if delay_bound else (0.0 if delay == 0 else float("inf"))
+    if opt_cost is not None:
+        beta = cost / opt_cost if opt_cost else (0.0 if cost == 0 else float("inf"))
+        exact_flag = True
+    elif lp_bound:
+        beta = cost / lp_bound
+        exact_flag = False
+    else:
+        beta = 0.0 if cost == 0 else float("inf")
+        exact_flag = False
+    return QualityReport(
+        cost=cost,
+        delay=delay,
+        opt_cost=opt_cost,
+        lp_bound=lp_bound,
+        alpha=alpha,
+        beta=beta,
+        beta_is_exact=exact_flag,
+    )
+
+
+def summarize(values: list[float]) -> dict[str, float]:
+    """Mean / max / min / count over a metric column (NaN-free inputs)."""
+    if not values:
+        return {"count": 0, "mean": float("nan"), "max": float("nan"), "min": float("nan")}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "min": min(values),
+    }

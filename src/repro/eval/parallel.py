@@ -1,0 +1,125 @@
+"""Process-parallel trial execution for the evaluation harness.
+
+Parameter sweeps are embarrassingly parallel across (instance, solver)
+pairs; per the HPC guides, profile first — here the hot spots are HiGHS
+LP/MILP solves, which release no useful parallelism within a process, so
+scaling out across processes is the right lever. This module mirrors
+:func:`repro.eval.harness.run_trials` with a :class:`ProcessPoolExecutor`.
+
+Workers receive (instance payload, solver name) and resolve the solver from
+a registry — functions themselves are not pickled, so lambdas and closures
+on the caller's side stay usable via the named indirection.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.eval.harness import TrialRecord
+from repro.eval.workloads import WorkloadInstance
+from repro.graph.io import graph_from_dict, graph_to_dict
+
+#: Worker-side registry of named solver adapters. Populated at import time;
+#: extend with :func:`register_solver` before launching a pool (the
+#: registration must happen at module import so forked/spawned workers see
+#: it — register at module scope in your driver script).
+_SOLVER_REGISTRY: dict[str, Callable] = {}
+
+
+def register_solver(name: str, fn: Callable) -> None:
+    """Register a picklable-by-name solver adapter.
+
+    ``fn(graph, s, t, k, delay_bound) -> (cost, delay, extra_dict)``.
+    """
+    _SOLVER_REGISTRY[name] = fn
+
+
+def _builtin_bicameral(g, s, t, k, bound):
+    from repro.core.krsp import solve_krsp
+
+    sol = solve_krsp(g, s, t, k, bound)
+    return sol.cost, sol.delay, {"iterations": sol.iterations}
+
+
+def _builtin_baseline(which: str):
+    def run(g, s, t, k, bound):
+        from repro.baselines import BASELINES
+
+        res = BASELINES[which](g, s, t, k, bound)
+        return res.cost, res.delay, {"meets_delay_bound": res.meets_delay_bound}
+
+    return run
+
+
+register_solver("bicameral", _builtin_bicameral)
+for _name in ("minsum", "lp_rounding_2_2", "orda_sprintson_style", "greedy_sequential"):
+    register_solver(_name, _builtin_baseline(_name))
+
+
+def _run_one(payload: tuple[dict, str]) -> dict:
+    """Worker body: rebuild the instance, run the named solver, and return
+    a plain-dict record (keeps pickling cheap and version-stable)."""
+    inst_d, solver_name = payload
+    g = graph_from_dict(inst_d["graph"])
+    s, t, k, bound = inst_d["s"], inst_d["t"], inst_d["k"], inst_d["delay_bound"]
+    fn = _SOLVER_REGISTRY[solver_name]
+    start = time.perf_counter()
+    try:
+        cost, delay, extra = fn(g, s, t, k, bound)
+        status = "ok"
+    except ReproError as exc:
+        cost = delay = None
+        extra = {"error": f"{type(exc).__name__}: {exc}"}
+        status = (
+            "infeasible" if type(exc).__name__ == "InfeasibleInstanceError" else "error"
+        )
+    return {
+        "workload": inst_d["name"],
+        "seed": inst_d["seed"],
+        "solver": solver_name,
+        "n": g.n,
+        "m": g.m,
+        "k": k,
+        "delay_bound": bound,
+        "status": status,
+        "cost": cost,
+        "delay": delay,
+        "seconds": time.perf_counter() - start,
+        "extra": extra,
+    }
+
+
+def run_trials_parallel(
+    instances: Iterable[WorkloadInstance],
+    solver_names: list[str],
+    max_workers: int | None = None,
+) -> list[TrialRecord]:
+    """Parallel counterpart of :func:`repro.eval.harness.run_trials`.
+
+    ``solver_names`` must be registered (built-ins: ``bicameral`` plus the
+    four baselines). Records come back in deterministic (instance, solver)
+    order regardless of completion order.
+    """
+    payloads: list[tuple[dict, str]] = []
+    for inst in instances:
+        inst_d = {
+            "graph": graph_to_dict(inst.graph),
+            "s": inst.s,
+            "t": inst.t,
+            "k": inst.k,
+            "delay_bound": inst.delay_bound,
+            "name": inst.name,
+            "seed": inst.seed,
+        }
+        for name in solver_names:
+            if name not in _SOLVER_REGISTRY:
+                raise KeyError(f"solver {name!r} is not registered")
+            payloads.append((inst_d, name))
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        raw = list(pool.map(_run_one, payloads))
+
+    return [TrialRecord(**r) for r in raw]

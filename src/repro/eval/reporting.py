@@ -1,0 +1,72 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+The paper has no tables to imitate, so the harness emits compact aligned
+ASCII tables — the same rows land in EXPERIMENTS.md. No plotting deps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[tuple[Any, Sequence[Any]]],
+    title: str | None = None,
+) -> str:
+    """Render a figure-style series as a table of (x, y1, y2, ...) rows."""
+    headers = [x_label, *y_labels]
+    rows = [[x, *ys] for x, ys in points]
+    return format_table(headers, rows, title=title)
+
+
+def format_trace(records) -> str:
+    """Render a cancellation trace (:class:`IterationRecord` list) as a
+    table — the human-readable view of Algorithm 1's run."""
+    headers = ["iter", "type", "cycle_cost", "cycle_delay", "cost", "delay", "r"]
+    rows = []
+    for rec in records:
+        rows.append(
+            [
+                rec.iteration,
+                rec.cycle_type.name,
+                rec.cycle_cost,
+                rec.cycle_delay,
+                rec.cost_after,
+                rec.delay_after,
+                "-" if rec.r_value is None else f"{float(rec.r_value):.3f}",
+            ]
+        )
+    return format_table(headers, rows, title="cancellation trace")

@@ -1,0 +1,132 @@
+"""Parameter-grid sweeps: the downstream user's evaluation entry point.
+
+The experiment registry (E1–E11) pins the paper-validation suite; this
+module is the general tool behind it — declare a grid of instance
+parameters and solver configurations, execute (optionally in parallel),
+and pivot the records into a printable table.
+
+Example::
+
+    from repro.eval.sweeps import Sweep, run_sweep, pivot
+
+    sweep = Sweep(
+        family="er_anticorrelated",
+        family_params={"n": [12, 16], "tightness": [0.5, 0.8]},
+        solvers=["bicameral", "minsum"],
+        n_instances=5,
+        seed=123,
+    )
+    records = run_sweep(sweep)
+    print(pivot(records, row_key=lambda r: (r.extra["n"], r.extra["tightness"])))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.eval.harness import TrialRecord, group_by, run_trials
+from repro.eval.metrics import summarize
+from repro.eval.reporting import format_table
+from repro.eval.workloads import WORKLOADS
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declarative sweep: one workload family, a grid of its parameters,
+    and the solver set to run on every emitted instance.
+
+    Attributes
+    ----------
+    family:
+        A key of :data:`repro.eval.workloads.WORKLOADS`.
+    family_params:
+        Mapping of parameter name -> list of values; the cartesian product
+        defines the grid cells.
+    solvers:
+        Names registered with :mod:`repro.eval.parallel` (used for both
+        serial and parallel execution, keeping the two paths identical).
+    n_instances:
+        Instances per grid cell.
+    seed:
+        Base seed; each cell derives its own stream deterministically.
+    """
+
+    family: str
+    family_params: dict[str, Sequence[Any]] = field(default_factory=dict)
+    solvers: Sequence[str] = ("bicameral",)
+    n_instances: int = 5
+    seed: int = 0
+
+    def cells(self) -> list[dict[str, Any]]:
+        """The grid cells as parameter dicts (sorted for determinism)."""
+        keys = sorted(self.family_params)
+        values = [self.family_params[k] for k in keys]
+        return [dict(zip(keys, combo)) for combo in itertools.product(*values)]
+
+
+def run_sweep(sweep: Sweep, parallel: bool = False, max_workers: int | None = None) -> list[TrialRecord]:
+    """Execute the sweep; every record's ``extra`` carries its grid cell."""
+    if sweep.family not in WORKLOADS:
+        raise KeyError(f"unknown workload family {sweep.family!r}")
+    family = WORKLOADS[sweep.family]
+    records: list[TrialRecord] = []
+    for i, cell in enumerate(sweep.cells()):
+        instances = list(
+            family(n_instances=sweep.n_instances, seed=sweep.seed + 7919 * i, **cell)
+        )
+        if parallel:
+            from repro.eval.parallel import run_trials_parallel
+
+            cell_records = run_trials_parallel(
+                instances, list(sweep.solvers), max_workers=max_workers
+            )
+        else:
+            from repro.eval.parallel import _SOLVER_REGISTRY
+
+            solver_fns = {}
+            for name in sweep.solvers:
+                if name not in _SOLVER_REGISTRY:
+                    raise KeyError(f"solver {name!r} is not registered")
+                fn = _SOLVER_REGISTRY[name]
+
+                def adapter(inst, _fn=fn):
+                    return _fn(inst.graph, inst.s, inst.t, inst.k, inst.delay_bound)
+
+                solver_fns[name] = adapter
+            cell_records = run_trials(instances, solver_fns)
+        for rec in cell_records:
+            rec.extra.update(cell)
+        records.extend(cell_records)
+    return records
+
+
+def pivot(
+    records: list[TrialRecord],
+    row_key=lambda r: r.workload,
+    metric=lambda r: float(r.cost) if r.cost is not None else None,
+    metric_name: str = "cost",
+) -> str:
+    """Aggregate records into an ASCII table: one row per (row_key, solver)
+    with ok/infeasible/error counts and the metric's mean/max."""
+    headers = ["cell", "solver", "ok", "infeasible", "error",
+               f"{metric_name}_mean", f"{metric_name}_max", "sec_mean"]
+    rows = []
+    grouped = group_by(records, lambda r: (row_key(r), r.solver))
+    for (cell, solver), recs in sorted(grouped.items(), key=lambda kv: str(kv[0])):
+        values = [metric(r) for r in recs if r.status == "ok" and metric(r) is not None]
+        stats = summarize(values)
+        rows.append(
+            [
+                str(cell),
+                solver,
+                sum(r.status == "ok" for r in recs),
+                sum(r.status == "infeasible" for r in recs),
+                sum(r.status == "error" for r in recs),
+                stats["mean"],
+                stats["max"],
+                summarize([r.seconds for r in recs])["mean"],
+            ]
+        )
+    return format_table(headers, rows)

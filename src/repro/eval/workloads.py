@@ -1,0 +1,214 @@
+"""Named workload suites: seeded instance streams per experiment.
+
+A workload is a deterministic generator of kRSP instances — graph family,
+weight model, terminal choice, and a delay-budget policy expressed relative
+to the instance's own extremes so the budget is always in the interesting
+band (above the minimum achievable delay, below the delay of the min-cost
+solution; outside that band the problem degenerates to min-sum or to
+infeasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.flow.mincost import min_cost_k_flow
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnp_digraph,
+    grid_digraph,
+    layered_dag,
+    scale_free_digraph,
+    waxman_digraph,
+)
+from repro.graph.weights import (
+    anticorrelated_weights,
+    correlated_weights,
+    euclidean_weights,
+    uniform_weights,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadInstance:
+    """One concrete instance emitted by a workload."""
+
+    name: str
+    graph: DiGraph
+    s: int
+    t: int
+    k: int
+    delay_bound: int
+    seed: int
+
+
+def interesting_delay_bound(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    tightness: float = 0.5,
+) -> int | None:
+    """Pick ``D`` inside the band where the constraint actually binds.
+
+    ``tightness = 0`` puts ``D`` at the delay of the min-cost solution
+    (constraint barely binds); ``tightness = 1`` at the minimum achievable
+    delay (as tight as feasibly possible). Returns ``None`` when fewer than
+    ``k`` disjoint paths exist or when the band is empty (the min-cost
+    solution is already the fastest).
+    """
+    by_cost = min_cost_k_flow(g, s, t, k, weight=g.cost)
+    if by_cost is None:
+        return None
+    by_delay = min_cost_k_flow(g, s, t, k, weight=g.delay)
+    d_hi = int(g.delay[np.nonzero(by_cost.used)[0]].sum())
+    d_lo = by_delay.weight
+    if d_hi <= d_lo:
+        return None
+    return int(round(d_hi - tightness * (d_hi - d_lo)))
+
+
+def _emit(
+    name: str,
+    builder: Callable[[int], tuple[DiGraph, int, int]],
+    k: int,
+    tightness: float,
+    n_instances: int,
+    seed: int,
+) -> Iterator[WorkloadInstance]:
+    """Drive a seeded builder, attaching in-band delay budgets; skips
+    instances where no interesting budget exists (keeps streams dense)."""
+    children = spawn_rng(seed, n_instances)
+    for i, child in enumerate(children):
+        sub_seed = int(child.integers(1 << 31))
+        g, s, t = builder(sub_seed)
+        bound = interesting_delay_bound(g, s, t, k, tightness)
+        if bound is None:
+            continue
+        yield WorkloadInstance(
+            name=name, graph=g, s=s, t=t, k=k, delay_bound=bound, seed=sub_seed
+        )
+
+
+def er_anticorrelated(
+    n: int = 12,
+    p: float = 0.35,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2015,
+) -> Iterator[WorkloadInstance]:
+    """Erdos–Renyi digraphs with anti-correlated weights (the hard regime)."""
+
+    def build(sub_seed: int):
+        g = gnp_digraph(n, p, rng=sub_seed)
+        g = anticorrelated_weights(g, rng=sub_seed + 1)
+        return g, 0, n - 1
+
+    yield from _emit(f"er{n}_anti", build, k, tightness, n_instances, seed)
+
+
+def er_uniform(
+    n: int = 12,
+    p: float = 0.35,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2016,
+) -> Iterator[WorkloadInstance]:
+    """Erdos–Renyi with independent uniform weights (the mild regime)."""
+
+    def build(sub_seed: int):
+        g = gnp_digraph(n, p, rng=sub_seed)
+        g = uniform_weights(g, rng=sub_seed + 1)
+        return g, 0, n - 1
+
+    yield from _emit(f"er{n}_uni", build, k, tightness, n_instances, seed)
+
+
+def waxman_euclidean(
+    n: int = 14,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2017,
+) -> Iterator[WorkloadInstance]:
+    """Waxman geometric graphs with euclidean cost/delay (router-level)."""
+
+    def build(sub_seed: int):
+        g, pos = waxman_digraph(n, alpha=0.8, beta=0.5, rng=sub_seed)
+        g = euclidean_weights(g, pos, delay_scale=20, cost_scale=20, rng=sub_seed + 1)
+        return g, 0, n - 1
+
+    yield from _emit(f"waxman{n}", build, k, tightness, n_instances, seed)
+
+
+def grid_anticorrelated(
+    rows: int = 4,
+    cols: int = 5,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2018,
+) -> Iterator[WorkloadInstance]:
+    """Grid fabrics with anti-correlated weights."""
+
+    def build(sub_seed: int):
+        g, s, t = grid_digraph(rows, cols)
+        g = anticorrelated_weights(g, rng=sub_seed)
+        return g, s, t
+
+    yield from _emit(f"grid{rows}x{cols}", build, k, tightness, n_instances, seed)
+
+
+def layered_anticorrelated(
+    layers: int = 4,
+    width: int = 3,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2019,
+) -> Iterator[WorkloadInstance]:
+    """Layered DAGs — equal hop counts force pure weight trade-offs."""
+
+    def build(sub_seed: int):
+        g, s, t = layered_dag(layers, width, rng=sub_seed)
+        g = anticorrelated_weights(g, rng=sub_seed + 1)
+        return g, s, t
+
+    yield from _emit(f"layered{layers}x{width}", build, k, tightness, n_instances, seed)
+
+
+def scale_free_anticorrelated(
+    n: int = 20,
+    m_attach: int = 2,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2020,
+) -> Iterator[WorkloadInstance]:
+    """Scale-free (preferential attachment) digraphs: hub contention makes
+    disjointness expensive. Terminals are the newest vertex and a seed
+    vertex (periphery-to-core routing)."""
+
+    def build(sub_seed: int):
+        g = scale_free_digraph(n, m_attach, rng=sub_seed)
+        g = anticorrelated_weights(g, rng=sub_seed + 1)
+        return g, n - 1, 0
+
+    yield from _emit(f"sf{n}", build, k, tightness, n_instances, seed)
+
+
+WORKLOADS = {
+    "er_anticorrelated": er_anticorrelated,
+    "scale_free_anticorrelated": scale_free_anticorrelated,
+    "er_uniform": er_uniform,
+    "waxman_euclidean": waxman_euclidean,
+    "grid_anticorrelated": grid_anticorrelated,
+    "layered_anticorrelated": layered_anticorrelated,
+}
+"""Name registry for the experiment definitions."""

@@ -1,0 +1,125 @@
+"""Decompose integral unit flows into paths and cycles.
+
+A solution in this library is a set of edge ids whose indicator vector is an
+integral ``s``-``t`` flow of value ``k`` (every edge carries 0 or 1 unit).
+Such a set decomposes into exactly ``k`` edge-disjoint ``s -> t`` paths plus
+a collection of edge-disjoint cycles (flow decomposition theorem). The
+kRSP cancellation loop calls this after every ``oplus`` application; because
+input graphs have nonnegative cost and delay, stripping the cycles never
+increases either criterion (DESIGN.md, "Edge-id flows").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.validate import degree_imbalance
+
+
+def decompose_flow(
+    g: DiGraph,
+    edge_ids,
+    s: int,
+    t: int,
+) -> tuple[list[list[int]], list[list[int]]]:
+    """Split a unit-capacity flow edge set into ``(paths, cycles)``.
+
+    ``edge_ids`` must form an integral flow: imbalance ``+k`` at ``s``,
+    ``-k`` at ``t`` (``k >= 0``), zero elsewhere; each edge id at most once.
+
+    Paths are peeled greedily from ``s`` (each traversal marks edges
+    consumed); whatever remains is perfectly balanced and is peeled into
+    cycles. Deterministic: at each vertex the lowest remaining edge id is
+    taken, so repeated runs decompose identically.
+    """
+    materialized = [int(e) for e in edge_ids]
+    eids = sorted(set(materialized))
+    if len(eids) != len(materialized):
+        raise GraphError("flow edge set contains duplicate edge ids")
+    bal = degree_imbalance(g, eids)
+    k = int(bal[s])
+    if s == t:
+        if bal.any():
+            raise GraphError("s == t requires a perfectly balanced edge set")
+        k = 0
+    else:
+        expect = np.zeros(g.n, dtype=np.int64)
+        expect[s] = k
+        expect[t] = -k
+        if k < 0 or not np.array_equal(bal, expect):
+            raise GraphError("edge set is not an integral s-t flow")
+
+    # Outgoing adjacency restricted to the flow edges, as sorted stacks
+    # (pop from the end => take the smallest remaining id by reversing).
+    out: dict[int, list[int]] = {}
+    for e in eids:
+        out.setdefault(int(g.tail[e]), []).append(e)
+    for stack in out.values():
+        stack.sort(reverse=True)
+
+    remaining = len(eids)
+
+    def walk_from(start: int, stop_at: int | None) -> list[int]:
+        """Follow flow edges from ``start`` until ``stop_at`` (or until the
+        walk returns to ``start`` when ``stop_at is None``)."""
+        nonlocal remaining
+        walk: list[int] = []
+        cur = start
+        while True:
+            stack = out.get(cur)
+            if not stack:
+                raise GraphError("flow conservation violated during peel")
+            e = stack.pop()
+            walk.append(e)
+            remaining -= 1
+            cur = int(g.head[e])
+            if stop_at is not None and cur == stop_at:
+                return walk
+            if stop_at is None and cur == start:
+                return walk
+            if len(walk) > len(eids):
+                raise GraphError("peel did not terminate")
+
+    paths = [walk_from(s, t) for _ in range(k)]
+
+    cycles: list[list[int]] = []
+    # Remaining edges are balanced; peel cycles anchored at the smallest
+    # remaining tail vertex.
+    while remaining:
+        anchor = min(u for u, stack in out.items() if stack)
+        cycles.append(walk_from(anchor, None))
+    return paths, cycles
+
+
+def flow_from_paths(paths: list[list[int]]) -> list[int]:
+    """Flatten disjoint paths back into a flow edge set (sorted ids)."""
+    eids: list[int] = []
+    for p in paths:
+        eids.extend(p)
+    if len(set(eids)) != len(eids):
+        raise GraphError("paths are not edge-disjoint")
+    return sorted(eids)
+
+
+def strip_improving_cycles(
+    g: DiGraph,
+    paths: list[list[int]],
+    cycles: list[list[int]],
+) -> list[list[int]]:
+    """Sanity layer over decomposition: in a nonnegative-weight graph every
+    stripped cycle has ``cost >= 0`` and ``delay >= 0``, so dropping them is
+    always safe. Verifies that and returns the paths unchanged.
+
+    Raises :class:`GraphError` when handed a cycle that would have improved
+    a criterion — that indicates the caller is stripping cycles from a graph
+    with negative weights, which is a logic error.
+    """
+    for cyc in cycles:
+        if g.cost_of(cyc) < 0 or g.delay_of(cyc) < 0:
+            raise GraphError(
+                "refusing to strip a negative-weight cycle; decompose in the "
+                "original (nonnegative) graph only"
+            )
+    return paths

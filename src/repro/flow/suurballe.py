@@ -1,0 +1,52 @@
+"""k edge-disjoint min-sum paths (Suurballe / Suurballe–Tarjan [20, 21]).
+
+The delay-free special case of kRSP: minimize total cost over ``k``
+edge-disjoint ``s -> t`` paths, no delay constraint. Polynomially solvable;
+the paper uses it both as a cited special case and (implicitly) as the
+source of the ``cost <= C_OPT`` starting solutions its analysis leans on.
+
+Implementation is a thin, named wrapper over
+:func:`repro.flow.mincost.min_cost_k_flow` (successive shortest paths with
+potentials *is* the Suurballe–Tarjan scheme generalized to ``k``), followed
+by flow decomposition. Kept as its own module because it is a public
+baseline with its own identity in the experiment index (E4, E9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.decompose import decompose_flow
+from repro.flow.mincost import min_cost_k_flow
+from repro.graph.digraph import DiGraph
+
+
+def suurballe_k_paths(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    weight: np.ndarray | None = None,
+) -> list[list[int]] | None:
+    """``k`` edge-disjoint ``s -> t`` paths of minimum total weight.
+
+    Returns the paths as edge-id lists, or ``None`` when fewer than ``k``
+    disjoint paths exist. ``weight`` defaults to ``g.cost``; pass
+    ``g.delay`` for the min-total-delay variant.
+
+    The decomposition of a min-weight flow contains no cycles when weights
+    are strictly positive; with zero-weight edges, zero-weight cycles may
+    appear in the flow and are dropped (they cannot change the total).
+    """
+    res = min_cost_k_flow(g, s, t, k, weight=weight)
+    if res is None:
+        return None
+    paths, cycles = decompose_flow(g, np.nonzero(res.used)[0], s, t)
+    # A min-weight flow cannot strictly improve by dropping a cycle, so any
+    # cycle present has weight exactly 0 under the optimization weight.
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    for cyc in cycles:
+        assert int(w[np.asarray(cyc, dtype=np.int64)].sum()) == 0, (
+            "min-cost flow contained a nonzero-weight cycle"
+        )
+    return paths

@@ -1,0 +1,78 @@
+"""Graph substrate: array-backed directed multigraphs, generators, weights.
+
+Public surface::
+
+    from repro.graph import DiGraph, from_edges, gnp_digraph, ...
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.builders import from_edges, from_networkx, to_networkx
+from repro.graph.generators import (
+    gnp_digraph,
+    grid_digraph,
+    layered_dag,
+    parallel_chains,
+    ring_of_cliques,
+    scale_free_digraph,
+    waxman_digraph,
+)
+from repro.graph.weights import (
+    WEIGHT_MODELS,
+    anticorrelated_weights,
+    correlated_weights,
+    euclidean_weights,
+    uniform_weights,
+)
+from repro.graph.validate import (
+    check_disjoint_paths,
+    degree_imbalance,
+    is_cycle,
+    is_path,
+    is_simple_path,
+)
+from repro.graph.transform import SplitGraph, solve_krsp_vertex_disjoint, split_vertices
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_graph,
+    load_instance,
+    save_graph,
+    save_instance,
+)
+
+__all__ = [
+    "DiGraph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "gnp_digraph",
+    "grid_digraph",
+    "layered_dag",
+    "parallel_chains",
+    "ring_of_cliques",
+    "scale_free_digraph",
+    "waxman_digraph",
+    "WEIGHT_MODELS",
+    "anticorrelated_weights",
+    "correlated_weights",
+    "euclidean_weights",
+    "uniform_weights",
+    "check_disjoint_paths",
+    "degree_imbalance",
+    "is_cycle",
+    "is_path",
+    "is_simple_path",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "save_instance",
+    "SplitGraph",
+    "split_vertices",
+    "solve_krsp_vertex_disjoint",
+]

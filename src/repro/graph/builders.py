@@ -1,0 +1,95 @@
+"""Constructors bridging :class:`~repro.graph.digraph.DiGraph` and friendlier
+representations (edge tuples with arbitrary vertex names, networkx graphs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+def from_edges(
+    edges: Iterable[tuple[Hashable, Hashable, int, int]],
+    nodes: Iterable[Hashable] | None = None,
+) -> tuple[DiGraph, dict[Hashable, int]]:
+    """Build a graph from ``(u, v, cost, delay)`` tuples with arbitrary names.
+
+    Vertex ids are assigned in order of first appearance (after any vertices
+    listed explicitly in ``nodes``, which lets callers pin ``s=0`` etc. or
+    include isolated vertices).
+
+    Returns
+    -------
+    (graph, name_to_id)
+    """
+    name_to_id: dict[Hashable, int] = {}
+    if nodes is not None:
+        for name in nodes:
+            if name not in name_to_id:
+                name_to_id[name] = len(name_to_id)
+    tails: list[int] = []
+    heads: list[int] = []
+    costs: list[int] = []
+    delays: list[int] = []
+    for u, v, c, d in edges:
+        for name in (u, v):
+            if name not in name_to_id:
+                name_to_id[name] = len(name_to_id)
+        tails.append(name_to_id[u])
+        heads.append(name_to_id[v])
+        costs.append(int(c))
+        delays.append(int(d))
+    g = DiGraph(
+        len(name_to_id),
+        np.array(tails, dtype=np.int64),
+        np.array(heads, dtype=np.int64),
+        np.array(costs, dtype=np.int64),
+        np.array(delays, dtype=np.int64),
+    )
+    return g, name_to_id
+
+
+def to_networkx(g: DiGraph):
+    """Convert to a :class:`networkx.MultiDiGraph` with ``cost``/``delay``
+    edge attributes and the edge id stored under key ``eid``.
+
+    Used by tests to cross-check substrate algorithms against networkx.
+    """
+    import networkx as nx
+
+    out = nx.MultiDiGraph()
+    out.add_nodes_from(range(g.n))
+    for e in range(g.m):
+        out.add_edge(
+            int(g.tail[e]),
+            int(g.head[e]),
+            eid=e,
+            cost=int(g.cost[e]),
+            delay=int(g.delay[e]),
+        )
+    return out
+
+
+def from_networkx(nxg, cost="cost", delay="delay") -> DiGraph:
+    """Convert a networkx (Multi)DiGraph with integer-labelled nodes
+    ``0..n-1`` and the named edge attributes into a :class:`DiGraph`."""
+    n = nxg.number_of_nodes()
+    if set(nxg.nodes) != set(range(n)):
+        raise GraphError("from_networkx requires nodes labelled 0..n-1")
+    tails, heads, costs, delays = [], [], [], []
+    for u, v, data in nxg.edges(data=True):
+        tails.append(u)
+        heads.append(v)
+        costs.append(int(data[cost]))
+        delays.append(int(data[delay]))
+    return DiGraph(
+        n,
+        np.array(tails, dtype=np.int64),
+        np.array(heads, dtype=np.int64),
+        np.array(costs, dtype=np.int64),
+        np.array(delays, dtype=np.int64),
+    )

@@ -1,0 +1,236 @@
+"""Random topology generators for kRSP workloads.
+
+The paper evaluates nothing empirically, so these generators supply the
+synthetic substrate (DESIGN.md "Substitutions"): the graph families standard
+in the QoS-routing literature the paper builds on — uniform random digraphs,
+geometric/Waxman graphs (router-level internet models), grids (regular fabric
+topologies), layered DAGs (worst cases for delay/cost trade-offs), and an
+ISP-like ring-of-cliques. Each generator returns topology only; edge weights
+are attached separately by :mod:`repro.graph.weights` so families and weight
+models compose freely.
+
+All generators take a ``rng`` (seed / Generator / None) and return a
+:class:`~repro.graph.digraph.DiGraph` whose edges carry placeholder zero
+weights, plus designated terminals ``(s, t)`` where the family has a natural
+choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import as_rng
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+def _graph_from_pairs(n: int, pairs: np.ndarray) -> DiGraph:
+    z = np.zeros(len(pairs), dtype=np.int64)
+    if len(pairs) == 0:
+        return DiGraph.empty(n)
+    return DiGraph(n, pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64), z, z.copy())
+
+
+def gnp_digraph(n: int, p: float, rng=None) -> DiGraph:
+    """Erdos–Renyi ``G(n, p)`` digraph (no self-loops, no parallel edges).
+
+    Each of the ``n*(n-1)`` ordered pairs is an edge independently with
+    probability ``p``. Sampled vectorized: one Bernoulli draw per pair.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0,1], got {p}")
+    gen = as_rng(rng)
+    us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = (us != vs) & (gen.random((n, n)) < p)
+    pairs = np.stack([us[mask], vs[mask]], axis=1)
+    return _graph_from_pairs(n, pairs)
+
+
+def waxman_digraph(
+    n: int,
+    alpha: float = 0.6,
+    beta: float = 0.4,
+    rng=None,
+) -> tuple[DiGraph, np.ndarray]:
+    """Waxman random geometric digraph on the unit square.
+
+    Vertices get uniform positions; the ordered pair ``(u, v)`` is an edge
+    with probability ``alpha * exp(-dist(u,v) / (beta * sqrt(2)))`` — the
+    classic internet-topology model. Returns ``(graph, positions)``;
+    positions feed the euclidean weight model.
+    """
+    gen = as_rng(rng)
+    pos = gen.random((n, 2))
+    diff = pos[:, None, :] - pos[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    prob = alpha * np.exp(-dist / (beta * np.sqrt(2.0)))
+    us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = (us != vs) & (gen.random((n, n)) < prob)
+    pairs = np.stack([us[mask], vs[mask]], axis=1)
+    return _graph_from_pairs(n, pairs), pos
+
+
+def grid_digraph(rows: int, cols: int, bidirectional: bool = True) -> tuple[DiGraph, int, int]:
+    """``rows x cols`` grid; vertex ``(r, c)`` is ``r*cols + c``.
+
+    Edges connect 4-neighbours (both directions when ``bidirectional``).
+    Returns ``(graph, s, t)`` with ``s`` the top-left and ``t`` the
+    bottom-right corner — the natural long-haul terminal pair.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                pairs.append((u, u + 1))
+                if bidirectional:
+                    pairs.append((u + 1, u))
+            if r + 1 < rows:
+                pairs.append((u, u + cols))
+                if bidirectional:
+                    pairs.append((u + cols, u))
+    g = _graph_from_pairs(rows * cols, np.array(pairs, dtype=np.int64))
+    return g, 0, rows * cols - 1
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    rng=None,
+    extra_skip_prob: float = 0.1,
+) -> tuple[DiGraph, int, int]:
+    """Layered DAG: ``s`` -> ``layers`` ranks of ``width`` vertices -> ``t``.
+
+    Adjacent ranks are completely bipartitely connected; with probability
+    ``extra_skip_prob`` a vertex also gets a rank-skipping edge. Layered DAGs
+    are where cost/delay trade-offs bite hardest (every s-t path has the same
+    hop count through full ranks, so weights alone decide).
+    Returns ``(graph, s, t)``.
+    """
+    gen = as_rng(rng)
+    n = 2 + layers * width
+    s, t = 0, n - 1
+
+    def vid(layer: int, i: int) -> int:
+        return 1 + layer * width + i
+
+    pairs: list[tuple[int, int]] = []
+    for i in range(width):
+        pairs.append((s, vid(0, i)))
+        pairs.append((vid(layers - 1, i), t))
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                pairs.append((vid(layer, i), vid(layer + 1, j)))
+            if layer + 2 < layers and gen.random() < extra_skip_prob:
+                j = int(gen.integers(width))
+                pairs.append((vid(layer, i), vid(layer + 2, j)))
+    g = _graph_from_pairs(n, np.array(pairs, dtype=np.int64))
+    return g, s, t
+
+
+def ring_of_cliques(
+    n_cliques: int,
+    clique_size: int,
+    rng=None,
+    chords: int = 0,
+) -> tuple[DiGraph, int, int]:
+    """ISP-like topology: PoP cliques joined in a ring, plus random chords.
+
+    Each clique is a bidirected complete graph; consecutive cliques share a
+    bidirected link between designated gateway vertices; ``chords`` extra
+    bidirected long-range links are added between uniform random vertices.
+    Returns ``(graph, s, t)`` with terminals in diametrically opposite
+    cliques, so disjoint routes must split around the ring.
+    """
+    if n_cliques < 3 or clique_size < 2:
+        raise GraphError("need >=3 cliques of size >=2")
+    gen = as_rng(rng)
+    n = n_cliques * clique_size
+    pairs: list[tuple[int, int]] = []
+
+    def member(c: int, i: int) -> int:
+        return c * clique_size + i
+
+    for c in range(n_cliques):
+        for i in range(clique_size):
+            for j in range(clique_size):
+                if i != j:
+                    pairs.append((member(c, i), member(c, j)))
+        gw_out = member(c, 0)
+        gw_in = member((c + 1) % n_cliques, 1 % clique_size)
+        pairs.append((gw_out, gw_in))
+        pairs.append((gw_in, gw_out))
+    for _ in range(chords):
+        u, v = (int(x) for x in gen.integers(0, n, size=2))
+        if u != v:
+            pairs.append((u, v))
+            pairs.append((v, u))
+    g = _graph_from_pairs(n, np.array(pairs, dtype=np.int64))
+    s = member(0, clique_size - 1)
+    t = member(n_cliques // 2, clique_size - 1)
+    return g, s, t
+
+
+def parallel_chains(
+    k: int,
+    length: int,
+) -> tuple[DiGraph, int, int]:
+    """``k`` vertex-disjoint chains of ``length`` edges from ``s`` to ``t``.
+
+    The minimal family guaranteeing exactly ``k`` edge-disjoint s-t paths —
+    the workhorse for feasibility-boundary tests.
+    """
+    if k < 1 or length < 1:
+        raise GraphError("need k >= 1 chains of length >= 1")
+    # length==1 chains are parallel (s, t) edges.
+    n = 2 + k * max(length - 1, 0)
+    s, t = 0, 1
+    pairs: list[tuple[int, int]] = []
+    for chain in range(k):
+        prev = s
+        for hop in range(length - 1):
+            v = 2 + chain * (length - 1) + hop
+            pairs.append((prev, v))
+            prev = v
+        pairs.append((prev, t))
+    g = _graph_from_pairs(n, np.array(pairs, dtype=np.int64))
+    return g, s, t
+
+
+def scale_free_digraph(
+    n: int,
+    m_attach: int = 2,
+    rng=None,
+) -> DiGraph:
+    """Barabasi–Albert-style scale-free digraph (bidirected edges).
+
+    Starts from a small bidirected clique and attaches each new vertex to
+    ``m_attach`` existing vertices chosen proportionally to their current
+    degree (preferential attachment). Hub-heavy topologies model AS-level
+    internet graphs, where disjoint-path routing contends for the hubs.
+    """
+    if m_attach < 1 or n <= m_attach:
+        raise GraphError("need n > m_attach >= 1")
+    gen = as_rng(rng)
+    pairs: list[tuple[int, int]] = []
+    # Seed clique over the first m_attach + 1 vertices.
+    seed_size = m_attach + 1
+    for i in range(seed_size):
+        for j in range(seed_size):
+            if i != j:
+                pairs.append((i, j))
+    degree = np.zeros(n, dtype=np.float64)
+    degree[:seed_size] = 2 * (seed_size - 1)
+    for v in range(seed_size, n):
+        probs = degree[:v] / degree[:v].sum()
+        targets = gen.choice(v, size=min(m_attach, v), replace=False, p=probs)
+        for u in targets:
+            u = int(u)
+            pairs.append((v, u))
+            pairs.append((u, v))
+            degree[u] += 2
+            degree[v] += 2
+    return _graph_from_pairs(n, np.array(pairs, dtype=np.int64))

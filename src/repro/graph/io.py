@@ -1,0 +1,86 @@
+"""JSON (de)serialization for graphs and kRSP instances.
+
+Instances round-trip through a small, versioned, human-diffable JSON schema
+so experiment inputs can be pinned in the repository and shared. Weights are
+plain JSON integers (arbitrary precision — int64 overflow cannot corrupt a
+stored instance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(g: DiGraph) -> dict[str, Any]:
+    """Plain-dict form of a graph (schema v1)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "n": g.n,
+        "tail": g.tail.tolist(),
+        "head": g.head.tolist(),
+        "cost": g.cost.tolist(),
+        "delay": g.delay.tolist(),
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> DiGraph:
+    """Inverse of :func:`graph_to_dict`; validates the schema tag."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise GraphError(f"unsupported graph schema: {data.get('schema')!r}")
+    return DiGraph(
+        int(data["n"]),
+        np.array(data["tail"], dtype=np.int64),
+        np.array(data["head"], dtype=np.int64),
+        np.array(data["cost"], dtype=np.int64),
+        np.array(data["delay"], dtype=np.int64),
+    )
+
+
+def save_graph(g: DiGraph, path: str | Path) -> None:
+    """Write a graph as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(g)))
+
+
+def load_graph(path: str | Path) -> DiGraph:
+    """Read a graph written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def instance_to_dict(g: DiGraph, s: int, t: int, k: int, delay_bound: int) -> dict[str, Any]:
+    """Plain-dict form of a full kRSP instance (graph + query)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "graph": graph_to_dict(g),
+        "s": int(s),
+        "t": int(t),
+        "k": int(k),
+        "delay_bound": int(delay_bound),
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> tuple[DiGraph, int, int, int, int]:
+    """Inverse of :func:`instance_to_dict`; returns
+    ``(graph, s, t, k, delay_bound)``."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise GraphError(f"unsupported instance schema: {data.get('schema')!r}")
+    g = graph_from_dict(data["graph"])
+    return g, int(data["s"]), int(data["t"]), int(data["k"]), int(data["delay_bound"])
+
+
+def save_instance(path: str | Path, g: DiGraph, s: int, t: int, k: int, delay_bound: int) -> None:
+    """Write a full instance as JSON to ``path``."""
+    Path(path).write_text(json.dumps(instance_to_dict(g, s, t, k, delay_bound)))
+
+
+def load_instance(path: str | Path) -> tuple[DiGraph, int, int, int, int]:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,97 @@
+"""Structural validation helpers for graphs, paths and path sets.
+
+These checks are the contract layer between the substrate and the solvers:
+every public solver validates its inputs with them, and the test suite uses
+them as oracles (a solver's output must pass :func:`check_disjoint_paths`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+def is_path(g: DiGraph, edge_ids: list[int], s: int, t: int) -> bool:
+    """True iff ``edge_ids`` is a (possibly non-simple) walk ``s -> t``
+    with at least one edge when ``s != t``."""
+    if s == t:
+        return len(edge_ids) == 0
+    if not edge_ids:
+        return False
+    cur = s
+    for e in edge_ids:
+        if not 0 <= e < g.m:
+            return False
+        if int(g.tail[e]) != cur:
+            return False
+        cur = int(g.head[e])
+    return cur == t
+
+
+def is_simple_path(g: DiGraph, edge_ids: list[int], s: int, t: int) -> bool:
+    """True iff ``edge_ids`` is a simple directed path ``s -> t``
+    (no repeated vertices)."""
+    if not is_path(g, edge_ids, s, t):
+        return False
+    seen = {s}
+    for e in edge_ids:
+        v = int(g.head[e])
+        if v in seen:
+            return False
+        seen.add(v)
+    return True
+
+
+def check_disjoint_paths(
+    g: DiGraph,
+    paths: list[list[int]],
+    s: int,
+    t: int,
+    k: int | None = None,
+) -> None:
+    """Raise :class:`GraphError` unless ``paths`` are pairwise edge-disjoint
+    ``s``-``t`` paths (and exactly ``k`` of them when given).
+
+    Edge-disjointness is on edge *ids*: two parallel edges may both be used.
+    """
+    if k is not None and len(paths) != k:
+        raise GraphError(f"expected {k} paths, got {len(paths)}")
+    used: set[int] = set()
+    for i, path in enumerate(paths):
+        if not is_path(g, path, s, t):
+            raise GraphError(f"entry {i} is not an s-t path")
+        dup = used.intersection(path)
+        if dup:
+            raise GraphError(f"paths share edge ids {sorted(dup)}")
+        if len(set(path)) != len(path):
+            raise GraphError(f"path {i} repeats edge id")
+        used.update(path)
+
+
+def is_cycle(g: DiGraph, edge_ids: list[int]) -> bool:
+    """True iff ``edge_ids`` traces a directed closed walk with >= 1 edge."""
+    if not edge_ids:
+        return False
+    start = int(g.tail[edge_ids[0]])
+    cur = start
+    for e in edge_ids:
+        if not 0 <= e < g.m or int(g.tail[e]) != cur:
+            return False
+        cur = int(g.head[e])
+    return cur == start
+
+
+def degree_imbalance(g: DiGraph, edge_ids) -> np.ndarray:
+    """Per-vertex (out-degree minus in-degree) of the edge subset.
+
+    A k-unit s-t flow has imbalance +k at s, -k at t, 0 elsewhere; a union
+    of cycles is all-zero. The oplus machinery tests both facts with this.
+    """
+    eids = np.asarray(list(edge_ids), dtype=np.int64)
+    bal = np.zeros(g.n, dtype=np.int64)
+    if len(eids):
+        np.add.at(bal, g.tail[eids], 1)
+        np.add.at(bal, g.head[eids], -1)
+    return bal

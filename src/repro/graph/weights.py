@@ -1,0 +1,116 @@
+"""Cost/delay assignment models for generated topologies.
+
+The hardness of a kRSP instance is driven less by topology than by how cost
+and delay relate per edge:
+
+* ``uniform`` — independent uniform integers; mild instances.
+* ``correlated`` — expensive edges are also slow (cost ~ delay + noise);
+  easy, because one criterion nearly optimizes the other.
+* ``anticorrelated`` — expensive edges are *fast* (cost + delay ~ const);
+  the adversarial regime where the delay budget genuinely constrains the
+  cheapest solution. This is the regime the paper's bicameral machinery
+  exists for, and the default for the evaluation suite.
+* ``euclidean`` — delay proportional to geometric length (Waxman positions),
+  cost anti-proportional; models long fat pipes vs short slow hops.
+
+All models return fresh ``(cost, delay)`` int64 arrays; attach them with
+:meth:`DiGraph.with_weights`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import as_rng
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+def uniform_weights(
+    g: DiGraph,
+    cost_range: tuple[int, int] = (1, 20),
+    delay_range: tuple[int, int] = (1, 20),
+    rng=None,
+) -> DiGraph:
+    """Independent uniform integer cost and delay per edge (inclusive ranges)."""
+    gen = as_rng(rng)
+    lo_c, hi_c = cost_range
+    lo_d, hi_d = delay_range
+    if lo_c < 0 or lo_d < 0 or hi_c < lo_c or hi_d < lo_d:
+        raise GraphError("weight ranges must be nonnegative and nonempty")
+    cost = gen.integers(lo_c, hi_c + 1, size=g.m, dtype=np.int64)
+    delay = gen.integers(lo_d, hi_d + 1, size=g.m, dtype=np.int64)
+    return g.with_weights(cost, delay)
+
+
+def correlated_weights(
+    g: DiGraph,
+    base_range: tuple[int, int] = (1, 20),
+    noise: int = 3,
+    rng=None,
+) -> DiGraph:
+    """Positively correlated weights: ``cost = base + noise_c``,
+    ``delay = base + noise_d`` with independent small noise terms."""
+    gen = as_rng(rng)
+    lo, hi = base_range
+    base = gen.integers(lo, hi + 1, size=g.m, dtype=np.int64)
+    cost = base + gen.integers(0, noise + 1, size=g.m, dtype=np.int64)
+    delay = base + gen.integers(0, noise + 1, size=g.m, dtype=np.int64)
+    return g.with_weights(cost, delay)
+
+
+def anticorrelated_weights(
+    g: DiGraph,
+    total: int = 21,
+    noise: int = 2,
+    rng=None,
+) -> DiGraph:
+    """Anti-correlated weights: ``cost + delay ~ total``.
+
+    ``cost`` uniform in ``[1, total-1]``, ``delay = total - cost`` plus
+    bounded noise (clipped at 0). Cheap edges are slow and vice versa —
+    the canonical hard regime for restricted shortest paths.
+    """
+    if total < 2:
+        raise GraphError("total must be >= 2")
+    gen = as_rng(rng)
+    cost = gen.integers(1, total, size=g.m, dtype=np.int64)
+    jitter = gen.integers(-noise, noise + 1, size=g.m, dtype=np.int64)
+    delay = np.clip(total - cost + jitter, 0, None).astype(np.int64)
+    return g.with_weights(cost, delay)
+
+
+def euclidean_weights(
+    g: DiGraph,
+    pos: np.ndarray,
+    delay_scale: int = 100,
+    cost_scale: int = 100,
+    rng=None,
+) -> DiGraph:
+    """Geometric weights from vertex positions (e.g. Waxman's).
+
+    ``delay`` grows with euclidean edge length (propagation delay);
+    ``cost`` shrinks with it (long-haul links amortize better), both with
+    multiplicative jitter in [0.8, 1.2].
+    """
+    if pos.shape != (g.n, 2):
+        raise GraphError(f"pos must be ({g.n}, 2), got {pos.shape}")
+    gen = as_rng(rng)
+    seg = pos[g.head] - pos[g.tail]
+    length = np.sqrt((seg**2).sum(axis=1))  # in [0, sqrt(2)]
+    norm = length / np.sqrt(2.0)
+    jit_d = 0.8 + 0.4 * gen.random(g.m)
+    jit_c = 0.8 + 0.4 * gen.random(g.m)
+    delay = np.maximum(1, np.rint(delay_scale * norm * jit_d)).astype(np.int64)
+    cost = np.maximum(1, np.rint(cost_scale * (1.0 - 0.9 * norm) * jit_c)).astype(np.int64)
+    return g.with_weights(cost, delay)
+
+
+WEIGHT_MODELS = {
+    "uniform": uniform_weights,
+    "correlated": correlated_weights,
+    "anticorrelated": anticorrelated_weights,
+}
+"""Name -> callable registry for the position-free models (the evaluation
+harness selects by name; ``euclidean`` needs positions so it is wired
+explicitly where Waxman graphs are generated)."""

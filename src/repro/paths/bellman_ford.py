@@ -1,0 +1,153 @@
+"""Bellman–Ford shortest paths and negative-cycle extraction.
+
+Residual graphs in this library carry *negative* weights on reversed edges
+(Definition 6 negates both cost and delay), so negative-cycle detection under
+a single criterion is a first-class operation: a negative-*delay* cycle in
+the residual graph is the raw material of cycle cancellation (Lemma 9), and
+the heuristic bicameral finder starts from one.
+
+Two entry points:
+
+* :func:`bellman_ford` — distances + predecessors from a source, raising
+  :class:`~repro.errors.NegativeCycleError` (with the cycle attached) when a
+  reachable negative cycle exists.
+* :func:`find_negative_cycle` — detection from a virtual super-source, i.e.
+  finds a negative cycle anywhere in the graph or reports none.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, NegativeCycleError
+from repro.graph.digraph import DiGraph
+from repro.paths.dijkstra import INF
+
+
+def _trace_cycle(g: DiGraph, pred: np.ndarray, start: int) -> list[int]:
+    """Walk predecessors from ``start`` until a vertex repeats, then cut out
+    the cycle as a forward edge-id list.
+
+    A vertex improved in relaxation round ``n`` lies downstream of a
+    predecessor-graph cycle, so the walk must revisit a vertex within
+    ``n + 1`` steps; the visited-set walk (rather than a blind fixed-length
+    one) keeps this robust under synchronous numpy relaxation where several
+    predecessors update in one round.
+    """
+    seen: dict[int, int] = {}
+    walk_edges: list[int] = []  # edges in reverse walk order
+    v = start
+    while v not in seen:
+        seen[v] = len(walk_edges)
+        e = int(pred[v])
+        if e == -1:
+            raise GraphError("predecessor chain broke while tracing cycle")
+        walk_edges.append(e)
+        v = int(g.tail[e])
+        if len(walk_edges) > g.n + 1:
+            raise GraphError("failed to close cycle — corrupt predecessors")
+    # Cycle consists of the edges walked between the two visits of v.
+    first_visit = seen[v]
+    cycle = walk_edges[first_visit:]
+    cycle.reverse()
+    return cycle
+
+
+def bellman_ford(
+    g: DiGraph,
+    source: int,
+    weight: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths allowing negative weights.
+
+    Returns ``(dist, pred_edge)`` like
+    :func:`repro.paths.dijkstra.dijkstra`. Raises
+    :class:`NegativeCycleError` (with ``.cycle`` filled) when a negative
+    cycle is reachable from ``source``.
+
+    Implementation: edge-array relaxation vectorized with numpy — each round
+    computes all tentative improvements at once and applies them with
+    ``np.minimum.at``; per the optimization guide this beats a Python
+    edge loop by an order of magnitude on dense rounds.
+    """
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    if len(w) != g.m:
+        raise GraphError("weight array length mismatch")
+    dist = np.full(g.n, INF, dtype=np.int64)
+    pred = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    if g.m == 0:
+        return dist, pred
+    tail, head = g.tail, g.head
+    for round_no in range(g.n):
+        reach = dist[tail] < INF
+        cand = dist[tail[reach]] + w[reach]
+        targets = head[reach]
+        eids = np.nonzero(reach)[0]
+        # Improvements must be applied serially per target to keep pred
+        # consistent; group by target via a scatter-min then one pass.
+        new_dist = dist.copy()
+        np.minimum.at(new_dist, targets, cand)
+        improved_mask = cand < dist[targets]
+        if not improved_mask.any():
+            return dist, pred
+        # For each improved target record one witnessing edge achieving the
+        # scatter-min value.
+        winners = cand == new_dist[targets]
+        pick = improved_mask & winners
+        pred[targets[pick]] = eids[pick]
+        dist = new_dist
+        if round_no == g.n - 1:
+            # Improvement in round n ⇒ negative cycle; trace from any
+            # vertex improved this round.
+            start = int(targets[pick][0])
+            cycle = _trace_cycle(g, pred, start)
+            if int(w[np.asarray(cycle)].sum()) >= 0:
+                raise GraphError("traced a non-negative cycle — corrupt state")
+            raise NegativeCycleError("negative cycle reachable from source", cycle)
+    return dist, pred
+
+
+def find_negative_cycle(
+    g: DiGraph,
+    weight: np.ndarray | None = None,
+) -> list[int] | None:
+    """Return some negative-total-weight cycle as an edge-id list, or None.
+
+    Uses Bellman–Ford from a virtual super-source (all distances start at 0,
+    equivalent to a zero-weight edge into every vertex), so cycles anywhere
+    in the graph are found.
+    """
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    if len(w) != g.m:
+        raise GraphError("weight array length mismatch")
+    if g.m == 0:
+        return None
+    dist = np.zeros(g.n, dtype=np.int64)
+    pred = np.full(g.n, -1, dtype=np.int64)
+    tail, head = g.tail, g.head
+    eids_all = np.arange(g.m, dtype=np.int64)
+    for round_no in range(g.n):
+        cand = dist[tail] + w
+        new_dist = dist.copy()
+        np.minimum.at(new_dist, head, cand)
+        improved_mask = cand < dist[head]
+        if not improved_mask.any():
+            return None
+        winners = cand == new_dist[head]
+        pick = improved_mask & winners
+        pred[head[pick]] = eids_all[pick]
+        dist = new_dist
+        if round_no == g.n - 1:
+            start = int(head[pick][0])
+            cycle = _trace_cycle(g, pred, start)
+            if int(w[np.asarray(cycle)].sum()) >= 0:
+                raise GraphError("traced a non-negative cycle — corrupt state")
+            return cycle
+    return None
+
+
+def negative_cycle_value(g: DiGraph, cycle: list[int], weight: np.ndarray | None = None) -> int:
+    """Total weight of an edge-id cycle (convenience for assertions)."""
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    return int(w[np.asarray(cycle, dtype=np.int64)].sum())

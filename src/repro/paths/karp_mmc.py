@@ -1,0 +1,170 @@
+"""Karp's minimum mean cycle algorithm.
+
+The paper's Section 2.1 credits prior work ([12], [18]) with using "the
+minimum-mean-cycle algorithm" on their single-criterion residual graphs —
+possible there precisely because their reversed edges keep cost
+nonnegative. This module supplies that classical tool (and its
+cross-checks), both for the Orda–Sprintson-style baseline family and as an
+independent oracle in tests of the cycle machinery.
+
+Karp's theorem: for weights ``w`` and a source reaching the whole
+component,
+
+    mu* = min over cycles of mean weight
+        = min_v max_k ( D_n(v) - D_k(v) ) / (n - k)
+
+where ``D_k(v)`` is the minimum weight of a *walk* of exactly ``k`` edges
+from the source to ``v`` (``+inf`` if none), minimized over ``v`` with
+``D_n(v)`` finite.
+
+Witness extraction uses the numerically robust route rather than walking
+the DP table: with ``mu* = p/q`` exact, the integer reweighting
+``w' = q*w - p`` has no negative cycle and gives every minimum-mean cycle
+total weight 0; Bellman–Ford potentials under ``w'`` make those cycles
+zero-*reduced*-weight edges, and any cycle inside the zero-reduced
+subgraph is a valid witness.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+_INF = np.iinfo(np.int64).max // 4
+
+
+def _karp_value_from_source(g: DiGraph, source: int, w: np.ndarray) -> Fraction | None:
+    """Karp's mu* over cycles reachable from ``source`` (None if acyclic)."""
+    n = g.n
+    tail, head = g.tail, g.head
+    D = np.full((n + 1, n), _INF, dtype=np.int64)
+    D[0, source] = 0
+    for k in range(1, n + 1):
+        prev = D[k - 1]
+        reach = prev[tail] < _INF
+        if not reach.any():
+            break
+        cand = prev[tail[reach]] + w[reach]
+        np.minimum.at(D[k], head[reach], cand)
+
+    finite_n = D[n] < _INF
+    if not finite_n.any():
+        return None
+    best: Fraction | None = None
+    for v in np.nonzero(finite_n)[0]:
+        v = int(v)
+        worst: Fraction | None = None
+        for k in range(n):
+            if D[k, v] >= _INF:
+                continue
+            val = Fraction(int(D[n, v]) - int(D[k, v]), n - k)
+            if worst is None or val > worst:
+                worst = val
+        if worst is not None and (best is None or worst < best):
+            best = worst
+    return best
+
+
+def _cycle_in_edge_subset(g: DiGraph, edge_ids: np.ndarray) -> list[int] | None:
+    """Any directed cycle using only ``edge_ids``, or None."""
+    out: dict[int, list[int]] = {}
+    for e in edge_ids:
+        out.setdefault(int(g.tail[e]), []).append(int(e))
+    state: dict[int, int] = {}  # 0 = in progress, 1 = done
+
+    for root in list(out):
+        if state.get(root) == 1:
+            continue
+        # Iterative DFS with an explicit edge stack.
+        path_edges: list[int] = []
+        on_path: dict[int, int] = {root: 0}
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            u, idx = stack[-1]
+            edges_u = out.get(u, ())
+            if idx >= len(edges_u):
+                stack.pop()
+                state[u] = 1
+                on_path.pop(u, None)
+                if path_edges:
+                    path_edges.pop()
+                continue
+            stack[-1] = (u, idx + 1)
+            e = edges_u[idx]
+            v = int(g.head[e])
+            if v in on_path:
+                depth = on_path[v]
+                return path_edges[depth:] + [e]
+            if state.get(v) == 1:
+                continue
+            on_path[v] = len(path_edges) + 1
+            path_edges.append(e)
+            stack.append((v, 0))
+    return None
+
+
+def minimum_mean_cycle(
+    g: DiGraph,
+    weight: np.ndarray | None = None,
+) -> tuple[Fraction, list[int]] | None:
+    """Minimum mean-weight cycle of ``g`` under ``weight``.
+
+    Returns ``(mean, edge_id_cycle)`` with ``mean`` an exact
+    :class:`~fractions.Fraction`, or ``None`` for acyclic graphs. Weights
+    may be negative. The witness cycle's mean equals the reported value
+    exactly (asserted internally).
+    """
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    if len(w) != g.m:
+        raise GraphError("weight array length mismatch")
+    if g.m == 0:
+        return None
+
+    # mu* over the whole graph: run Karp once per undiscovered region.
+    best: Fraction | None = None
+    visited = np.zeros(g.n, dtype=bool)
+    starts, eids = g.out_csr()
+    for source in range(g.n):
+        if visited[source]:
+            continue
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            if visited[u]:
+                continue
+            visited[u] = True
+            for e in eids[starts[u] : starts[u + 1]]:
+                v = int(g.head[e])
+                if not visited[v]:
+                    stack.append(v)
+        val = _karp_value_from_source(g, source, w)
+        if val is not None and (best is None or val < best):
+            best = val
+    if best is None:
+        return None
+
+    # Witness via exact reweighting: w' = q*w - p has min cycle mean 0.
+    p, q = best.numerator, best.denominator
+    w2 = w * q - p
+    # Bellman-Ford potentials from a virtual super-source (all zeros);
+    # convergence guaranteed: no negative cycle under w2.
+    dist = np.zeros(g.n, dtype=np.int64)
+    tail, head = g.tail, g.head
+    for _ in range(g.n):
+        cand = dist[tail] + w2
+        new = dist.copy()
+        np.minimum.at(new, head, cand)
+        if np.array_equal(new, dist):
+            break
+        dist = new
+    zero_reduced = np.nonzero(dist[tail] + w2 == dist[head])[0]
+    cycle = _cycle_in_edge_subset(g, zero_reduced)
+    if cycle is None:
+        raise GraphError("min-mean witness extraction failed — internal error")
+    got = Fraction(int(w[np.asarray(cycle)].sum()), len(cycle))
+    assert got == best, "witness mean mismatch — internal error"
+    return best, cycle

@@ -1,0 +1,173 @@
+"""FPTAS for the single restricted shortest path, Lorenz–Raz / Hassin style.
+
+The paper's Theorem 4 turns its pseudo-polynomial algorithm polynomial with
+exactly this technique ("the traditional technique for polynomial time
+approximation scheme design as in [7]", crediting Lorenz–Raz [17]); this
+module implements the k=1 original both as a substrate reference and to
+cross-validate the scaling wrapper in :mod:`repro.core.scaling`.
+
+Guarantee: returns a path with delay ``<= D`` and cost ``<= (1+eps) * OPT``
+in time polynomial in ``n``, ``m`` and ``1/eps``.
+
+Structure
+---------
+* an exact inner DP (:func:`_min_delay_dp`) over *scaled-cost* budgets
+  computing minimum delay per budget — all scaled costs are >= 1 by the
+  ``floor(c/theta) + 1`` trick, so layers strictly increase;
+* a Hassin-style TEST that decides ``OPT <= C`` vs ``OPT > C`` up to factor 2;
+* geometric interval narrowing until ``UB <= 2 * LB``, then one final scaled
+  DP with ``theta = eps * LB / (n + 1)``.
+
+All scaling arithmetic is exact (rationals via integer cross-multiplication).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.paths.dijkstra import INF, dijkstra, extract_path
+
+
+def _min_delay_dp(
+    g: DiGraph,
+    s: int,
+    t: int,
+    chat: np.ndarray,
+    budget: int,
+    delay_bound: int,
+) -> tuple[int, list[int]] | None:
+    """Min-delay path with scaled cost ``sum(chat) <= budget``.
+
+    ``chat`` must be >= 1 per edge. Returns ``(scaled_cost, path)`` for the
+    cheapest scaled budget whose min delay is ``<= delay_bound``, or None.
+    """
+    if (chat < 1).any():
+        raise GraphError("scaled costs must be >= 1")
+    B = int(budget)
+    n = g.n
+    mind = np.full((B + 1, n), INF, dtype=np.int64)
+    pred = np.full((B + 1, n), -1, dtype=np.int64)
+    mind[0, s] = 0
+    tail, head, delay = g.tail, g.head, g.delay
+    answer_beta = -1
+    for beta in range(B + 1):
+        if mind[beta, t] <= delay_bound:
+            answer_beta = beta
+            break
+        if beta == B:
+            break
+        src_beta = beta
+        # Relax all edges out of states in this layer (chat >= 1 guarantees
+        # the destination layer is strictly larger, so one pass suffices).
+        live = mind[src_beta] < INF
+        if not live.any():
+            continue
+        for e in range(g.m):
+            u = int(tail[e])
+            if not live[u]:
+                continue
+            nb = src_beta + int(chat[e])
+            if nb > B:
+                continue
+            cand = int(mind[src_beta, u]) + int(delay[e])
+            v = int(head[e])
+            if cand < mind[nb, v]:
+                mind[nb, v] = cand
+                pred[nb, v] = e * (B + 1) + src_beta
+    if answer_beta < 0:
+        return None
+    # Reconstruct from (answer_beta, t).
+    path: list[int] = []
+    b, v = answer_beta, t
+    while True:
+        packed = int(pred[b, v])
+        if packed == -1:
+            if v == s and b == 0:
+                break
+            raise GraphError("FPTAS DP reconstruction hit a dead state")
+        e, src = divmod(packed, B + 1)
+        path.append(e)
+        v = int(g.tail[e])
+        b = src
+        if len(path) > g.n * (B + 1) + 1:
+            raise GraphError("FPTAS DP reconstruction did not terminate")
+    path.reverse()
+    return answer_beta, path
+
+
+def _scaled_costs(g: DiGraph, theta_num: int, theta_den: int) -> np.ndarray:
+    """``floor(c(e) / theta) + 1`` with ``theta = theta_num / theta_den``,
+    computed exactly in integers (c * den // num)."""
+    if theta_num <= 0 or theta_den <= 0:
+        raise GraphError("theta must be positive")
+    return (g.cost * theta_den) // theta_num + 1
+
+
+def rsp_fptas(
+    g: DiGraph,
+    s: int,
+    t: int,
+    delay_bound: int,
+    eps: float = 0.25,
+) -> tuple[int, list[int]] | None:
+    """(1+eps)-approximate RSP: delay ``<= delay_bound`` strictly, cost
+    ``<= (1+eps) * OPT``.
+
+    Returns ``(cost, edge_id_path)`` or ``None`` when infeasible.
+    """
+    g.require_nonnegative()
+    if eps <= 0:
+        raise GraphError(f"eps must be positive, got {eps}")
+    if delay_bound < 0:
+        return None
+    if s == t:
+        return (0, [])
+
+    # Feasibility + trivial bounds from the two single-criterion extremes.
+    dist_d, pred_d = dijkstra(g, s, weight=g.delay)
+    if int(dist_d[t]) > delay_bound:
+        return None
+    dist_c, pred_c = dijkstra(g, s, weight=g.cost)
+    min_cost_path = extract_path(pred_c, g, t)
+    if g.delay_of(min_cost_path) <= delay_bound:
+        # The globally cheapest path is already feasible: exact optimum.
+        return int(dist_c[t]), min_cost_path
+    min_delay_path = extract_path(pred_d, g, t)
+
+    lb = max(1, int(dist_c[t]))  # min cost over all paths <= OPT
+    ub = max(lb, g.cost_of(min_delay_path))  # a feasible path's cost >= OPT
+    n1 = g.n + 1
+
+    # Interval narrowing: TEST(C) with eps'=1 decides OPT > C (NO) or
+    # provides a feasible path of cost < 2C (YES). The 4*lb exit (not 2*lb)
+    # is what guarantees strict progress on the YES branch: new ub <=
+    # 2*sqrt(lb*ub) < ub exactly when ub > 4*lb.
+    while ub > 4 * lb:
+        c_mid = int(np.sqrt(float(lb) * float(ub)))
+        c_mid = min(max(c_mid, lb + 1), ub - 1)
+        chat = _scaled_costs(g, c_mid, n1)  # theta = C / (n+1)
+        budget = 2 * n1  # C/theta + n + 1 = 2n + 2
+        hit = _min_delay_dp(g, s, t, chat, budget, delay_bound)
+        if hit is None:
+            lb = c_mid  # OPT > C
+        else:
+            _, path = hit
+            # True cost < theta * budget = 2C, so ub strictly shrinks.
+            ub = min(ub, g.cost_of(path), 2 * c_mid)
+
+    # Final scaled DP: theta = eps * lb / (n+1) (exact rational).
+    f = Fraction(eps).limit_denominator(10**6)
+    theta_num = f.numerator * lb
+    theta_den = f.denominator * n1
+    chat = _scaled_costs(g, theta_num, theta_den)
+    budget = int((ub * theta_den) // theta_num) + g.n + 1
+    hit = _min_delay_dp(g, s, t, chat, budget, delay_bound)
+    if hit is None:
+        # ub came from a concrete feasible path, so this cannot happen.
+        raise GraphError("final FPTAS DP lost a known-feasible path")
+    _, path = hit
+    return g.cost_of(path), path

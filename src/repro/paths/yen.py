@@ -1,0 +1,109 @@
+"""Yen's algorithm: k shortest loopless paths by a single weight.
+
+Substrate for the KSP-filtering baseline (a family of practical QoS
+routers: enumerate cheap paths, then post-filter for disjointness and
+delay). Classic spur-node formulation over the library's Dijkstra:
+
+* the best path comes from a plain shortest-path query;
+* candidate ``i+1``-th paths deviate from some prefix ("root") of an
+  existing path at a spur node, with the root's edges and the previously
+  used continuations masked out;
+* candidates live in a priority queue keyed by total weight; ties break on
+  the edge-id sequence for full determinism.
+
+Complexity ``O(K * n * (m + n log n))`` — fine at this library's scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.paths.dijkstra import INF, dijkstra, extract_path
+
+
+def _shortest_avoiding(
+    g: DiGraph,
+    s: int,
+    t: int,
+    weight: np.ndarray,
+    banned_edges: set[int],
+    banned_vertices: set[int],
+) -> list[int] | None:
+    """Shortest s->t path in the graph minus banned edges/vertices."""
+    keep = [
+        e
+        for e in range(g.m)
+        if e not in banned_edges
+        and int(g.tail[e]) not in banned_vertices
+        and int(g.head[e]) not in banned_vertices
+    ]
+    eids = np.asarray(keep, dtype=np.int64)
+    sub = g.subgraph_edges(eids)
+    dist, pred = dijkstra(sub, s, weight=weight[eids], target=t)
+    if int(dist[t]) >= INF:
+        return None
+    sub_path = extract_path(pred, sub, t)
+    return [int(eids[e]) for e in sub_path]
+
+
+def yen_k_shortest_paths(
+    g: DiGraph,
+    s: int,
+    t: int,
+    K: int,
+    weight: np.ndarray | None = None,
+) -> list[list[int]]:
+    """Up to ``K`` loopless s->t paths in nondecreasing weight order.
+
+    Returns fewer than ``K`` paths when the graph runs out. Paths are
+    edge-id lists; vertices never repeat within a path.
+    """
+    if K < 1:
+        raise GraphError("K must be positive")
+    if s == t:
+        return [[]]
+    w = g.cost if weight is None else np.asarray(weight, dtype=np.int64)
+    if len(w) != g.m:
+        raise GraphError("weight array length mismatch")
+
+    first = _shortest_avoiding(g, s, t, w, set(), set())
+    if first is None:
+        return []
+    accepted: list[list[int]] = [first]
+    seen: set[tuple[int, ...]] = {tuple(first)}
+    # Heap entries: (total weight, edge-id tuple) — tuple breaks ties
+    # deterministically and is the candidate itself.
+    candidates: list[tuple[int, tuple[int, ...]]] = []
+
+    while len(accepted) < K:
+        prev = accepted[-1]
+        prev_vertices = [s] + [int(g.head[e]) for e in prev]
+        for i in range(len(prev)):
+            spur_node = prev_vertices[i]
+            root = prev[:i]
+            # Ban continuations already used by accepted paths sharing the
+            # same root.
+            banned_edges: set[int] = set()
+            for p in accepted:
+                if p[:i] == root and len(p) > i:
+                    banned_edges.add(p[i])
+            # Ban root vertices (keeps paths loopless).
+            banned_vertices = set(prev_vertices[:i])
+            spur = _shortest_avoiding(g, spur_node, t, w, banned_edges, banned_vertices)
+            if spur is None:
+                continue
+            total = root + spur
+            key = tuple(total)
+            if key in seen:
+                continue
+            seen.add(key)
+            heapq.heappush(candidates, (int(w[np.asarray(total)].sum()), key))
+        if not candidates:
+            break
+        _, best = heapq.heappop(candidates)
+        accepted.append(list(best))
+    return accepted

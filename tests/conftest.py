@@ -1,0 +1,77 @@
+"""Shared fixtures and instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    anticorrelated_weights,
+    from_edges,
+    gnp_digraph,
+    grid_digraph,
+    layered_dag,
+    parallel_chains,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def diamond() -> tuple[DiGraph, dict]:
+    """Classic 4-vertex diamond: two disjoint s-t routes.
+
+    s -> a -> t is cheap/slow, s -> b -> t is expensive/fast.
+    """
+    g, ids = from_edges(
+        [
+            ("s", "a", 1, 10),
+            ("a", "t", 1, 10),
+            ("s", "b", 10, 1),
+            ("b", "t", 10, 1),
+        ]
+    )
+    return g, ids
+
+
+@pytest.fixture
+def two_route_graph() -> tuple[DiGraph, int, int]:
+    """Graph with exactly 2 edge-disjoint s-t paths plus a shared shortcut."""
+    g, ids = from_edges(
+        [
+            ("s", "a", 1, 4),
+            ("a", "t", 1, 4),
+            ("s", "b", 3, 2),
+            ("b", "t", 3, 2),
+            ("a", "b", 1, 1),
+            ("b", "a", 1, 1),
+        ]
+    )
+    return g, ids["s"], ids["t"]
+
+
+def random_weighted_gnp(n: int, p: float, seed: int, model: str = "uniform") -> DiGraph:
+    """Seeded random instance helper used across test modules."""
+    g = gnp_digraph(n, p, rng=seed)
+    if model == "uniform":
+        return uniform_weights(g, rng=seed + 1)
+    if model == "anticorrelated":
+        return anticorrelated_weights(g, rng=seed + 1)
+    raise ValueError(model)
+
+
+@pytest.fixture
+def chains3():
+    """3 disjoint chains of length 3 with distinct weight profiles."""
+    g, s, t = parallel_chains(3, 3)
+    # chain i gets cost 1+i per edge and delay 3-i per edge.
+    cost = np.zeros(g.m, dtype=np.int64)
+    delay = np.zeros(g.m, dtype=np.int64)
+    for e in range(g.m):
+        chain = e // 3
+        cost[e] = 1 + chain
+        delay[e] = 3 - chain
+    return g.with_weights(cost, delay), s, t
+
+
+__all__ = ["random_weighted_gnp"]

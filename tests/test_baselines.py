@@ -1,0 +1,144 @@
+"""Tests for the comparison baselines (experiment E4's cast)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    greedy_sequential_baseline,
+    lp_rounding_baseline,
+    min_cost_per_delay_cycle,
+    minsum_baseline,
+    orda_sprintson_baseline,
+)
+from repro.core import build_residual
+from repro.errors import InfeasibleInstanceError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights, parallel_chains
+from repro.graph.validate import check_disjoint_paths
+from repro.lp.milp import solve_krsp_milp
+
+
+def tradeoff_graph():
+    return from_edges(
+        [
+            ("s", "a", 1, 9),  # 0 cheap slow
+            ("a", "t", 1, 9),  # 1
+            ("s", "b", 5, 1),  # 2 pricey fast
+            ("b", "t", 5, 1),  # 3
+            ("s", "c", 3, 3),  # 4 middle
+            ("c", "t", 3, 3),  # 5
+        ]
+    )
+
+
+class TestMinsum:
+    def test_ignores_delay(self):
+        g, ids = tradeoff_graph()
+        res = minsum_baseline(g, ids["s"], ids["t"], 2, delay_bound=1)
+        assert res.cost == 8  # cheap + middle
+        assert not res.meets_delay_bound
+
+    def test_infeasible_raises(self):
+        g, s, t = parallel_chains(2, 2)
+        with pytest.raises(InfeasibleInstanceError):
+            minsum_baseline(g, s, t, 3, 100)
+
+
+class TestLpRounding:
+    def test_respects_twice_bounds(self):
+        for seed in range(12):
+            g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+            exact = solve_krsp_milp(g, 0, 9, 2, 40)
+            if exact is None or exact.cost == 0:
+                continue
+            res = lp_rounding_baseline(g, 0, 9, 2, 40)
+            assert res.delay <= 2 * 40 + 1e-9
+            assert res.cost <= 2 * exact.cost + 1e-9
+            check_disjoint_paths(g, res.paths, 0, 9, k=2)
+
+
+class TestMinRatioCycle:
+    def test_finds_cheapest_per_delay(self):
+        g, ids = tradeoff_graph()
+        res = build_residual(g, [0, 1])  # cheap slow pair held
+        res_g = res.graph
+        os_cost = np.where(res.reversed_mask, 0, res_g.cost).astype(np.int64)
+        cyc = min_cost_per_delay_cycle(res_g, os_cost, res_g.delay)
+        assert cyc is not None
+        c = int(os_cost[cyc].sum())
+        d = int(res_g.delay[np.asarray(cyc)].sum())
+        assert d < 0
+        # Candidates: swap to middle (cost 6, delay -12, ratio .5) or to
+        # pricey (cost 10, delay -16, ratio .625); best ratio is middle.
+        assert c / -d == pytest.approx(0.5)
+
+    def test_none_without_negative_delay_cycle(self):
+        g, ids = from_edges([("s", "t", 1, 1), ("s", "t", 2, 2)])
+        res = build_residual(g, [0])
+        res_g = res.graph
+        os_cost = np.where(res.reversed_mask, 0, res_g.cost).astype(np.int64)
+        assert min_cost_per_delay_cycle(res_g, os_cost, res_g.delay) is None
+
+
+class TestOrdaSprintson:
+    def test_reaches_feasibility(self):
+        g, ids = tradeoff_graph()
+        res = orda_sprintson_baseline(g, ids["s"], ids["t"], 2, delay_bound=10)
+        assert res.delay <= 10 and res.meets_delay_bound
+        check_disjoint_paths(g, res.paths, ids["s"], ids["t"], k=2)
+
+    def test_infeasible_raises(self):
+        g, ids = tradeoff_graph()
+        with pytest.raises(InfeasibleInstanceError):
+            orda_sprintson_baseline(g, ids["s"], ids["t"], 2, delay_bound=3)
+
+    def test_random_instances_feasible_and_bounded(self):
+        checked = 0
+        for seed in range(12):
+            g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+            exact = solve_krsp_milp(g, 0, 9, 2, 40)
+            if exact is None:
+                continue
+            res = orda_sprintson_baseline(g, 0, 9, 2, 40)
+            assert res.delay <= 40
+            check_disjoint_paths(g, res.paths, 0, 9, k=2)
+            checked += 1
+        assert checked >= 4
+
+
+class TestGreedySequential:
+    def test_solves_easy_instance(self):
+        g, ids = tradeoff_graph()
+        res = greedy_sequential_baseline(g, ids["s"], ids["t"], 2, 30)
+        assert res.meets_delay_bound
+        check_disjoint_paths(g, res.paths, ids["s"], ids["t"], k=2)
+
+    def test_fails_on_trap(self):
+        # Suurballe's trap: greedy takes s-a-b-t, stranding the second path.
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 1),
+                ("a", "b", 0, 0),
+                ("b", "t", 1, 1),
+                ("s", "b", 9, 1),
+                ("a", "t", 9, 1),
+            ]
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_sequential_baseline(g, ids["s"], ids["t"], 2, 2)
+
+    def test_budget_partitioning(self):
+        g, ids = tradeoff_graph()
+        # Budget 12 fair-shares to 6 per round: forces middle+pricey-ish mix.
+        res = greedy_sequential_baseline(g, ids["s"], ids["t"], 2, 12)
+        assert res.delay <= 12
+
+
+def test_registry_complete():
+    assert set(BASELINES) == {
+        "minsum",
+        "lp_rounding_2_2",
+        "orda_sprintson_style",
+        "greedy_sequential",
+        "ksp_filtering",
+    }

@@ -1,0 +1,120 @@
+"""Tests for the CLI and the process-parallel harness."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.parallel import run_trials_parallel
+from repro.eval.workloads import er_anticorrelated
+
+
+class TestCli:
+    def test_generate_then_solve_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        rc = main(["generate", "--family", "er", "--n", "12", "--seed", "3",
+                   "-o", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert {"graph", "s", "t", "k", "delay_bound"} <= set(payload)
+
+        rc = main(["solve", str(out)])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "cost=" in captured and "path 1:" in captured
+
+    def test_solve_with_eps_and_provider(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(["generate", "--n", "12", "--seed", "3", "-o", str(out)]) == 0
+        rc = main(["solve", str(out), "--eps", "0.5", "--phase1", "minsum"])
+        assert rc == 0
+
+    def test_experiment_command(self, capsys):
+        rc = main(["experiment", "f2"])
+        assert rc == 0
+        assert "H_nodes" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "zz"])
+        assert rc == 2
+
+    def test_generate_grid(self, tmp_path):
+        out = tmp_path / "grid.json"
+        rc = main(["generate", "--family", "grid", "--n", "16", "--seed", "1",
+                   "-o", str(out)])
+        assert rc in (0, 3)  # grid corners support only k=2; 3 = no band
+
+    def test_bad_instance_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"graph": {"schema": 99}}))
+        with pytest.raises(Exception):
+            main(["solve", str(bad)])
+
+
+class TestParallelHarness:
+    def test_matches_serial_results(self):
+        instances = list(er_anticorrelated(n=10, n_instances=6, seed=77))
+        assert instances
+        records = run_trials_parallel(
+            instances, ["bicameral", "minsum"], max_workers=2
+        )
+        assert len(records) == 2 * len(instances)
+        # Deterministic order: instance-major, solver-minor.
+        assert records[0].solver == "bicameral" and records[1].solver == "minsum"
+        by_key = {(r.seed, r.solver): r for r in records}
+        # Cross-check one instance against an in-process solve.
+        from repro.core import solve_krsp
+
+        inst = instances[0]
+        sol = solve_krsp(inst.graph, inst.s, inst.t, inst.k, inst.delay_bound)
+        rec = by_key[(inst.seed, "bicameral")]
+        assert rec.status == "ok"
+        assert rec.cost == sol.cost and rec.delay == sol.delay
+
+    def test_unregistered_solver_rejected(self):
+        instances = list(er_anticorrelated(n=10, n_instances=2, seed=77))
+        with pytest.raises(KeyError):
+            run_trials_parallel(instances, ["nonexistent"])
+
+    def test_infeasible_becomes_record(self):
+        # Budget-infeasible instances produce status records, not crashes.
+        from repro.eval.workloads import WorkloadInstance
+        from repro.graph import parallel_chains
+        import numpy as np
+
+        g, s, t = parallel_chains(2, 2)
+        g = g.with_weights(np.ones(g.m, np.int64), np.full(g.m, 9, np.int64))
+        inst = WorkloadInstance(
+            name="tiny", graph=g, s=s, t=t, k=2, delay_bound=10, seed=0
+        )
+        records = run_trials_parallel([inst], ["bicameral"], max_workers=1)
+        assert records[0].status == "infeasible"
+
+
+class TestCliSweepVerify:
+    def test_solve_verify_flag(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(["generate", "--n", "12", "--seed", "3", "-o", str(out)]) == 0
+        rc = main(["solve", str(out), "--verify"])
+        assert rc == 0
+        assert "independent audit: clean" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        rc = main([
+            "sweep", "er_anticorrelated",
+            "--param", "tightness=0.4,0.7",
+            "--solver", "minsum",
+            "--n-instances", "4",
+            "--seed", "9",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost_mean" in out and "minsum" in out
+
+    def test_sweep_bad_param(self, capsys):
+        rc = main(["sweep", "er_anticorrelated", "--param", "oops"])
+        assert rc == 2
+
+    def test_sweep_unknown_family(self, capsys):
+        rc = main(["sweep", "not_a_family"])
+        assert rc == 2

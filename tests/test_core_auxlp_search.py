@@ -1,0 +1,177 @@
+"""Tests for the ratio LP, fractional peeling, and the search driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CycleType,
+    build_aux_shifted,
+    build_residual,
+    classify,
+    find_bicameral_candidates,
+    find_bicameral_cycle,
+)
+from repro.core.auxlp import candidates_from_circulation, peel_fractional_cycles, solve_ratio_lp
+from repro.core.search import SearchStats
+from repro.graph import from_edges, gnp_digraph, uniform_weights, anticorrelated_weights
+from repro.graph.validate import is_cycle
+from repro._util.intmath import ratio_cmp
+
+
+@pytest.fixture
+def tradeoff_residual():
+    """Residual with a clean type-1 cycle: swap slow-cheap for fast-pricey."""
+    g, ids = from_edges(
+        [
+            ("s", "a", 1, 9),  # 0 in solution (cheap, slow)
+            ("a", "t", 1, 9),  # 1 in solution
+            ("s", "b", 5, 1),  # 2 (pricey, fast)
+            ("b", "t", 5, 1),  # 3
+        ]
+    )
+    return g, ids, build_residual(g, [0, 1])
+
+
+class TestRatioLp:
+    def test_finds_positive_cost_cycle(self, tradeoff_residual):
+        g, ids, res = tradeoff_residual
+        B = int(np.abs(res.graph.cost).sum())
+        aux = build_aux_shifted(res.graph, B)
+        x = solve_ratio_lp(aux, +1)
+        assert x is not None
+        cands = candidates_from_circulation(aux, res.graph, x)
+        assert cands
+        # The reroute cycle: 2,3 forward + 0,1 reversed = cost 8, delay -16.
+        best = min(cands, key=lambda c: c.delay / c.cost if c.cost > 0 else 0)
+        assert best.cost == 8 and best.delay == -16
+
+    def test_negative_sign_finds_reverse_cycle(self, tradeoff_residual):
+        g, ids, res = tradeoff_residual
+        # Flip the solution: now the pricey path is held, so the cycle that
+        # swaps back has negative cost.
+        res2 = build_residual(g, [2, 3])
+        aux = build_aux_shifted(res2.graph, int(np.abs(res2.graph.cost).sum()))
+        x = solve_ratio_lp(aux, -1)
+        assert x is not None
+        cands = candidates_from_circulation(aux, res2.graph, x)
+        assert any(c.cost < 0 for c in cands)
+
+    def test_none_when_no_cycles(self):
+        g, ids = from_edges([("s", "a", 1, 1), ("a", "t", 1, 1)])
+        res = build_residual(g, [])
+        aux = build_aux_shifted(res.graph, 2)
+        assert solve_ratio_lp(aux, +1) is None
+
+    def test_ratio_optimality(self):
+        """LP finds a min-ratio cycle among several options."""
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 6),  # 0 in solution
+                ("a", "t", 1, 6),  # 1 in solution
+                ("s", "b", 2, 1),  # 2: reroute A, cycle cost 2, delay -10
+                ("b", "t", 2, 1),  # 3
+                ("s", "c", 9, 1),  # 4: reroute B, cycle cost 16, delay -10
+                ("c", "t", 9, 1),  # 5
+            ]
+        )
+        res = build_residual(g, [0, 1])
+        aux = build_aux_shifted(res.graph, int(np.abs(res.graph.cost).sum()))
+        x = solve_ratio_lp(aux, +1)
+        cands = candidates_from_circulation(aux, res.graph, x)
+        pos = [c for c in cands if c.cost > 0 and c.delay < 0]
+        assert pos
+        best = min(pos, key=lambda c: c.delay / c.cost)
+        # Best ratio is reroute A: -10/2 = -5.
+        assert ratio_cmp(best.delay, best.cost, -10, 2) <= 0
+
+
+class TestPeel:
+    def test_integral_circulation(self):
+        g, ids = from_edges([("a", "b", 1, 1), ("b", "a", 1, 1)])
+        cycles = peel_fractional_cycles(g, np.array([1.0, 1.0]))
+        assert len(cycles) == 1 and sorted(cycles[0]) == [0, 1]
+
+    def test_fractional_overlapping(self):
+        # Two cycles sharing vertex a with different mass.
+        g, ids = from_edges(
+            [
+                ("a", "b", 1, 1),  # 0
+                ("b", "a", 1, 1),  # 1
+                ("a", "c", 1, 1),  # 2
+                ("c", "a", 1, 1),  # 3
+            ]
+        )
+        x = np.array([0.75, 0.75, 0.25, 0.25])
+        cycles = peel_fractional_cycles(g, x)
+        keys = sorted(tuple(sorted(c)) for c in cycles)
+        assert keys == [(0, 1), (2, 3)]
+
+    def test_empty(self):
+        g, ids = from_edges([("a", "b", 1, 1)])
+        assert peel_fractional_cycles(g, np.zeros(1)) == []
+
+    def test_noise_below_tolerance_ignored(self):
+        g, ids = from_edges([("a", "b", 1, 1), ("b", "a", 1, 1)])
+        assert peel_fractional_cycles(g, np.array([1e-9, 1e-9])) == []
+
+
+class TestSearchDriver:
+    def test_type0_short_circuit(self):
+        # Solution on pricey-fast path; the cheap-slow alternative would be
+        # a (negative cost, positive delay) swap: no type-0. Make one:
+        # parallel edge strictly better in both criteria.
+        g, ids = from_edges(
+            [
+                ("s", "t", 9, 9),  # 0 in solution
+                ("s", "t", 1, 1),  # 1 dominating alternative
+            ]
+        )
+        res = build_residual(g, [0])
+        stats = SearchStats()
+        cands = find_bicameral_candidates(res, stats=stats)
+        assert stats.short_circuited_type0
+        assert any(
+            classify(c.cost, c.delay, -1, None, None) is CycleType.TYPE0 for c in cands
+        )
+        # Probe-only: no LP was ever built.
+        assert stats.lp_solves == 0
+
+    def test_find_cycle_returns_certified_type1(self, ):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 9),
+                ("a", "t", 1, 9),
+                ("s", "b", 5, 1),
+                ("b", "t", 5, 1),
+            ]
+        )
+        res = build_residual(g, [0, 1])
+        # delta_d = -16 (need to shed 16), delta_c = 100 (plenty of slack).
+        picked = find_bicameral_cycle(res, -16, 100, None)
+        assert picked is not None
+        cand, ctype = picked
+        assert ctype is CycleType.TYPE1
+        assert cand.cost == 8 and cand.delay == -16
+
+    def test_find_cycle_none_when_no_cycles(self):
+        g, ids = from_edges([("s", "a", 1, 1), ("a", "t", 1, 1)])
+        res = build_residual(g, [])
+        assert find_bicameral_cycle(res, -5, 10, None) is None
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 50_000))
+    def test_candidates_are_genuine_cycles(self, seed):
+        g = anticorrelated_weights(gnp_digraph(8, 0.4, rng=seed), rng=seed + 1)
+        from repro.flow import suurballe_k_paths
+
+        paths = suurballe_k_paths(g, 0, 7, 2)
+        if paths is None:
+            return
+        sol = sorted(e for p in paths for e in p)
+        res = build_residual(g, sol)
+        cands = find_bicameral_candidates(res)
+        for c in cands:
+            assert is_cycle(res.graph, list(c.edges))
+            assert res.graph.cost_of(list(c.edges)) == c.cost
+            assert res.graph.delay_of(list(c.edges)) == c.delay

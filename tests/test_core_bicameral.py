@@ -1,0 +1,146 @@
+"""Tests for bicameral classification (Definition 10) and selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bicameral import (
+    CandidateCycle,
+    CycleType,
+    better_type1,
+    better_type2,
+    classify,
+    select_candidate,
+)
+
+
+def cand(cost, delay, edges=(0,)):
+    return CandidateCycle(edges=tuple(edges), cost=cost, delay=delay)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "cost,delay",
+        [(-1, -1), (0, -1), (-1, 0), (-5, -5)],
+    )
+    def test_type0(self, cost, delay):
+        assert classify(cost, delay, -10, 5, 100) is CycleType.TYPE0
+
+    def test_zero_zero_not_bicameral(self):
+        assert classify(0, 0, -10, 5, 100) is CycleType.NONE
+
+    def test_type1_rate_pass(self):
+        # d/c = -4/1 <= DeltaD/DeltaC = -10/5 = -2 ✓
+        assert classify(1, -4, -10, 5, 100) is CycleType.TYPE1
+
+    def test_type1_rate_fail(self):
+        # d/c = -1/1 > -2.
+        assert classify(1, -1, -10, 5, 100) is CycleType.NONE
+
+    def test_type1_cap(self):
+        assert classify(101, -500, -10, 5, 100) is CycleType.NONE
+        assert classify(100, -500, -10, 5, 100) is CycleType.TYPE1
+
+    def test_type2_rate_pass(self):
+        # d/c = 1/-1 = -1 >= -2 ✓
+        assert classify(-1, 1, -10, 5, 100) is CycleType.TYPE2
+
+    def test_type2_rate_fail(self):
+        # d/c = -5 < -2.
+        assert classify(-1, 5, -10, 5, 100) is CycleType.NONE
+
+    def test_type2_cap(self):
+        assert classify(-101, 1, -10, 5, 100) is CycleType.NONE
+
+    def test_no_estimate_disables_rates(self):
+        assert classify(1, -100, -10, None, None) is CycleType.NONE
+        assert classify(-1, -1, -10, None, None) is CycleType.TYPE0
+
+    def test_nonpositive_delta_c_disables(self):
+        assert classify(1, -100, -10, 0, None) is CycleType.NONE
+        assert classify(1, -100, -10, -3, None) is CycleType.NONE
+
+    def test_positive_both_never_bicameral(self):
+        assert classify(5, 5, -10, 5, 100) is CycleType.NONE
+
+
+class TestComparators:
+    def test_type1_prefers_more_negative_ratio(self):
+        a = cand(1, -4)  # ratio -4
+        b = cand(2, -4)  # ratio -2
+        assert better_type1(a, b) is a
+
+    def test_type1_tie_breaks_on_cost(self):
+        a = cand(1, -2, edges=(5,))
+        b = cand(2, -4, edges=(6,))  # same ratio -2
+        assert better_type1(a, b) is a
+
+    def test_type1_deterministic_on_full_tie(self):
+        a = cand(1, -2, edges=(1, 2))
+        b = cand(1, -2, edges=(3,))
+        assert better_type1(a, b) is a
+        assert better_type1(b, a) is a
+
+    def test_type2_prefers_ratio_closer_to_zero(self):
+        a = cand(-4, 1)  # ratio -0.25
+        b = cand(-1, 1)  # ratio -1
+        assert better_type2(a, b) is a
+
+
+class TestSelect:
+    def test_type0_always_wins(self):
+        cs = [cand(1, -100, edges=(1,)), cand(0, -1, edges=(2,))]
+        picked = select_candidate(cs, -10, 100, 1000)
+        assert picked[1] is CycleType.TYPE0
+        assert picked[0].edges == (2,)
+
+    def test_certified_type1_beats_fallback(self):
+        cs = [cand(1, -4, edges=(1,))]
+        picked = select_candidate(cs, -10, 5, 100)
+        assert picked == (cs[0], CycleType.TYPE1)
+
+    def test_empty_returns_none(self):
+        assert select_candidate([], -10, 5, 100) is None
+
+    def test_useless_candidates_return_none(self):
+        # positive delay & positive cost moves nothing anywhere useful.
+        assert select_candidate([cand(3, 3)], -10, 5, 100) is None
+
+    def test_fallback_type1_first(self):
+        # Rate test fails (no estimate) but a type-1-shaped cycle exists.
+        cs = [cand(10, -1, edges=(1,)), cand(-1, 5, edges=(2,))]
+        picked = select_candidate(cs, -10, None, None)
+        assert picked[1] is CycleType.TYPE1
+
+    def test_fallback_type2_when_no_type1(self):
+        cs = [cand(-1, 5, edges=(2,))]
+        picked = select_candidate(cs, -10, None, None)
+        assert picked[1] is CycleType.TYPE2
+
+    def test_paper_step3_rule(self):
+        # |d1/c1| = 4 vs |d2/c2| = 1 -> paper rule picks type-2.
+        cs = [cand(1, -4, edges=(1,)), cand(-4, 4, edges=(2,))]
+        picked = select_candidate(cs, -10, None, None, fallback="paper_step3")
+        assert picked[1] is CycleType.TYPE2
+        # Default rule sticks with type-1.
+        picked2 = select_candidate(cs, -10, None, None)
+        assert picked2[1] is CycleType.TYPE1
+
+    def test_cap_filters_shapes(self):
+        cs = [cand(1000, -10, edges=(1,)), cand(1, -1, edges=(2,))]
+        picked = select_candidate(cs, -10, None, 100)
+        assert picked[0].edges == (2,)
+
+
+@given(
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(-50, -1),
+    st.integers(1, 50),
+)
+def test_classify_total(cost, delay, delta_d, delta_c):
+    """classify never crashes and returns a CycleType for any signs."""
+    out = classify(cost, delay, delta_d, delta_c, 100)
+    assert out in CycleType
+    # Type-0 iff componentwise <= 0 with one strict.
+    expect0 = (delay < 0 and cost <= 0) or (delay <= 0 and cost < 0)
+    assert (out is CycleType.TYPE0) == expect0

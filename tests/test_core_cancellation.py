@@ -1,0 +1,134 @@
+"""Tests for the Algorithm 1 cancellation loop and the Lemma 12 monitor."""
+
+import pytest
+
+from repro.core import KRSPInstance, cancel_to_feasibility
+from repro.core.bicameral import CycleType
+from repro.core.phase1 import phase1_minsum
+from repro.errors import InfeasibleInstanceError, IterationLimitError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights
+from repro.graph.validate import check_disjoint_paths
+from repro.lp.milp import solve_krsp_milp
+
+
+def solve_via_cancellation(g, s, t, k, D, **kw):
+    inst = KRSPInstance(g, s, t, k, D)
+    start = phase1_minsum(inst).solution
+    return inst, cancel_to_feasibility(inst, start, **kw)
+
+
+class TestBasics:
+    def test_already_feasible_is_noop(self):
+        g, ids = from_edges([("s", "t", 1, 1), ("s", "t", 2, 2)])
+        inst, result = solve_via_cancellation(g, ids["s"], ids["t"], 2, 10)
+        assert result.iterations == 0
+        assert result.solution.cost == 3
+
+    def test_single_swap(self):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 9),
+                ("a", "t", 1, 9),
+                ("s", "b", 5, 1),
+                ("b", "t", 5, 1),
+            ]
+        )
+        inst, result = solve_via_cancellation(g, ids["s"], ids["t"], 1, 5)
+        assert result.iterations == 1
+        assert result.solution.cost == 10 and result.solution.delay == 2
+        assert result.records[0].cycle_type in (CycleType.TYPE0, CycleType.TYPE1)
+
+    def test_paths_stay_valid_every_step(self):
+        for seed in range(10):
+            g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+            exact = solve_krsp_milp(g, 0, 9, 2, 40)
+            if exact is None:
+                continue
+            inst, result = solve_via_cancellation(g, 0, 9, 2, 40)
+            check_disjoint_paths(
+                g, [list(p) for p in result.solution.paths], 0, 9, k=2
+            )
+            assert result.solution.delay <= 40
+
+    def test_iteration_cap(self):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 9),
+                ("a", "t", 1, 9),
+                ("s", "b", 5, 1),
+                ("b", "t", 5, 1),
+            ]
+        )
+        with pytest.raises(IterationLimitError):
+            solve_via_cancellation(g, ids["s"], ids["t"], 1, 5, max_iterations=0)
+
+
+class TestAgainstExactOptimum:
+    """With opt_cost supplied, the literal Definition 10 applies and the
+    (1, 2) bound of Lemma 11 must hold on every feasible instance."""
+
+    def test_bifactor_1_2(self):
+        checked = 0
+        for seed in range(25):
+            g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+            exact = solve_krsp_milp(g, 0, 9, 2, 40)
+            if exact is None or exact.cost == 0:
+                continue
+            inst, result = solve_via_cancellation(
+                g, 0, 9, 2, 40, opt_cost=exact.cost
+            )
+            assert result.solution.delay <= 40
+            assert result.solution.cost <= 2 * exact.cost
+            checked += 1
+        assert checked >= 8
+
+    def test_lemma12_monitor_never_trips(self):
+        """strict_monitor with the true optimum: Lemma 12's invariant holds
+        on every recorded trace."""
+        checked = 0
+        for seed in range(25):
+            g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+            exact = solve_krsp_milp(g, 0, 9, 2, 40)
+            if exact is None:
+                continue
+            inst, result = solve_via_cancellation(
+                g, 0, 9, 2, 40, opt_cost=exact.cost, strict_monitor=True
+            )
+            checked += 1
+        assert checked >= 8
+
+
+class TestInfeasibleBackstop:
+    def test_loop_detects_dead_end(self):
+        # Instance with no delay-feasible solution: only one route pair and
+        # it is too slow. phase1 succeeds (structure ok), loop must raise.
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 9),
+                ("a", "t", 1, 9),
+                ("s", "b", 5, 7),
+                ("b", "t", 5, 7),
+            ]
+        )
+        with pytest.raises((InfeasibleInstanceError, IterationLimitError)):
+            solve_via_cancellation(g, ids["s"], ids["t"], 2, 20)
+
+
+class TestRecords:
+    def test_records_track_totals(self):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 9),
+                ("a", "t", 1, 9),
+                ("s", "b", 5, 1),
+                ("b", "t", 5, 1),
+            ]
+        )
+        inst, result = solve_via_cancellation(g, ids["s"], ids["t"], 1, 5)
+        rec = result.records[0]
+        assert rec.iteration == 1
+        assert rec.cost_after == result.solution.cost
+        assert rec.delay_after == result.solution.delay
+        # Applied cycle's deltas reconcile with totals.
+        assert rec.cycle_delay == result.solution.delay - 18
+        assert rec.cycle_cost == result.solution.cost - 2

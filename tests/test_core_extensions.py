@@ -1,0 +1,149 @@
+"""Tests for the extension solvers: kBCP and the Section 1.2 special cases."""
+
+import pytest
+
+from repro.core import (
+    LengthBoundedStatus,
+    length_bounded_paths,
+    min_max_disjoint_paths,
+    solve_kbcp,
+)
+from repro.errors import InfeasibleInstanceError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights, parallel_chains
+from repro.graph.validate import check_disjoint_paths
+from repro.lp.milp import solve_krsp_milp
+
+
+class TestKbcp:
+    def _instance(self, seed):
+        g = anticorrelated_weights(gnp_digraph(10, 0.45, rng=seed), rng=seed + 1)
+        return g, 0, 9
+
+    def test_feasible_instances_within_factors(self):
+        checked = 0
+        for seed in range(15):
+            g, s, t = self._instance(seed)
+            exact = solve_krsp_milp(g, s, t, 2, 40)
+            if exact is None:
+                continue
+            # Budgets set exactly at an achievable point: (C, D) = optimum.
+            res = solve_kbcp(g, s, t, 2, cost_bound=exact.cost, delay_bound=40)
+            assert res.delay <= 40
+            assert res.cost <= 2 * exact.cost
+            assert res.cost_within_factor <= 2.0 + 1e-9
+            check_disjoint_paths(g, res.paths, s, t, k=2)
+            checked += 1
+        assert checked >= 5
+
+    def test_certified_infeasibility_on_tiny_cost_budget(self):
+        g, ids = from_edges(
+            [("s", "t", 10, 1), ("s", "t", 10, 1)]
+        )
+        with pytest.raises(InfeasibleInstanceError, match="kRSP relaxation"):
+            solve_kbcp(g, ids["s"], ids["t"], 2, cost_bound=5, delay_bound=10)
+
+    def test_delay_infeasibility_propagates(self):
+        g, s, t = parallel_chains(2, 2)
+        import numpy as np
+
+        g = g.with_weights(np.ones(g.m, np.int64), np.full(g.m, 9, np.int64))
+        with pytest.raises(InfeasibleInstanceError):
+            solve_kbcp(g, s, t, 2, cost_bound=100, delay_bound=10)
+
+    def test_eps_variant_factors(self):
+        for seed in range(8):
+            g, s, t = self._instance(seed)
+            exact = solve_krsp_milp(g, s, t, 2, 40)
+            if exact is None:
+                continue
+            res = solve_kbcp(
+                g, s, t, 2, cost_bound=exact.cost, delay_bound=40, eps=0.5
+            )
+            assert res.delay <= 1.5 * 40
+            assert res.cost <= 2.5 * exact.cost
+
+    def test_negative_budget_rejected(self):
+        g, ids = from_edges([("s", "t", 1, 1)])
+        with pytest.raises(InfeasibleInstanceError):
+            solve_kbcp(g, ids["s"], ids["t"], 1, cost_bound=-1, delay_bound=5)
+
+
+class TestMinMax:
+    def test_exact_on_symmetric_chains(self):
+        g, s, t = parallel_chains(2, 1)
+        import numpy as np
+
+        g = g.with_weights(np.array([1, 1]), np.array([4, 6]))
+        res = min_max_disjoint_paths(g, s, t, 2)
+        assert res.max_delay == 6 and res.factor == 2
+        assert res.lower_bound == 5  # ceil(10/2)
+
+    def test_factor_two_bound_holds(self):
+        # Brute-force OPT_minmax on small instances; min-sum witness must be
+        # within factor 2 for k=2.
+        import itertools
+
+        import networkx as nx
+
+        from repro.graph import to_networkx
+
+        for seed in range(12):
+            g = anticorrelated_weights(gnp_digraph(8, 0.45, rng=seed), rng=seed + 1)
+            s, t = 0, 7
+            try:
+                res = min_max_disjoint_paths(g, s, t, 2)
+            except InfeasibleInstanceError:
+                continue
+            # Enumerate all disjoint pairs to find OPT_minmax.
+            nxg = to_networkx(g)
+            paths = []
+            for np_ in nx.all_simple_paths(nxg, s, t):
+                opts = [
+                    [d["eid"] for d in nxg[u][v].values()]
+                    for u, v in zip(np_, np_[1:])
+                ]
+                for combo in itertools.product(*opts):
+                    paths.append(list(combo))
+            best = None
+            for a, b in itertools.combinations(paths, 2):
+                if set(a) & set(b):
+                    continue
+                mx = max(g.delay_of(a), g.delay_of(b))
+                best = mx if best is None else min(best, mx)
+            if best is None:
+                continue
+            assert res.max_delay <= 2 * best
+            assert res.lower_bound <= best
+
+    def test_infeasible(self):
+        g, s, t = parallel_chains(2, 2)
+        with pytest.raises(InfeasibleInstanceError):
+            min_max_disjoint_paths(g, s, t, 3)
+
+
+class TestLengthBounded:
+    def _weighted_chains(self):
+        g, s, t = parallel_chains(2, 1)
+        import numpy as np
+
+        return g.with_weights(np.array([0, 0]), np.array([4, 6])), s, t
+
+    def test_solved(self):
+        g, s, t = self._weighted_chains()
+        res = length_bounded_paths(g, s, t, 2, per_path_bound=6)
+        assert res.status is LengthBoundedStatus.SOLVED
+        assert res.max_delay == 6
+
+    def test_infeasible_certified(self):
+        g, s, t = self._weighted_chains()
+        res = length_bounded_paths(g, s, t, 2, per_path_bound=4)
+        # total = 10 > 2*4: certified infeasible.
+        assert res.status is LengthBoundedStatus.INFEASIBLE
+        assert res.paths is None
+
+    def test_undecided_band(self):
+        g, s, t = self._weighted_chains()
+        res = length_bounded_paths(g, s, t, 2, per_path_bound=5)
+        # total = 10 == 2*5 but max = 6 > 5: the relaxation cannot tell.
+        assert res.status is LengthBoundedStatus.UNDECIDED
+        assert res.paths is not None

@@ -1,0 +1,94 @@
+"""Tests for KRSPInstance / PathSet types."""
+
+import pytest
+
+from repro.core import KRSPInstance, PathSet
+from repro.errors import GraphError
+from repro.graph import from_edges, parallel_chains
+
+
+@pytest.fixture
+def simple():
+    g, s, t = parallel_chains(2, 2)
+    import numpy as np
+
+    g = g.with_weights(
+        np.array([1, 2, 3, 4], dtype=np.int64), np.array([5, 6, 7, 8], dtype=np.int64)
+    )
+    return g, s, t
+
+
+class TestInstance:
+    def test_valid(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        assert inst.k == 2
+
+    def test_rejects_equal_terminals(self, simple):
+        g, s, t = simple
+        with pytest.raises(GraphError, match="distinct"):
+            KRSPInstance(g, s, s, 1, 10)
+
+    def test_rejects_bad_k(self, simple):
+        g, s, t = simple
+        with pytest.raises(GraphError):
+            KRSPInstance(g, s, t, 0, 10)
+
+    def test_rejects_negative_bound(self, simple):
+        g, s, t = simple
+        with pytest.raises(GraphError):
+            KRSPInstance(g, s, t, 1, -1)
+
+    def test_rejects_out_of_range_terminal(self, simple):
+        g, s, t = simple
+        with pytest.raises(GraphError):
+            KRSPInstance(g, s, 99, 1, 10)
+
+    def test_rejects_negative_weights(self):
+        g, ids = from_edges([("s", "t", -1, 0)])
+        with pytest.raises(GraphError):
+            KRSPInstance(g, ids["s"], ids["t"], 1, 10)
+
+
+class TestPathSet:
+    def test_totals(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        ps = inst.path_set([[0, 1], [2, 3]])
+        assert ps.cost == 10 and ps.delay == 26
+        assert sorted(ps.edge_ids) == [0, 1, 2, 3]
+
+    def test_validation_rejects_overlap(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        with pytest.raises(GraphError):
+            inst.path_set([[0, 1], [0, 1]])
+
+    def test_wrong_k_rejected(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        with pytest.raises(GraphError):
+            inst.path_set([[0, 1]])
+
+    def test_feasibility_and_bifactor(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 26)
+        ps = inst.path_set([[0, 1], [2, 3]])
+        assert ps.is_delay_feasible(26)
+        assert not ps.is_delay_feasible(25)
+        alpha, beta = ps.bifactor(26, 5)
+        assert alpha == 1.0 and beta == 2.0
+
+    def test_bifactor_degenerate(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        ps = inst.path_set([[0, 1], [2, 3]])
+        a, b = ps.bifactor(0, 0)
+        assert a == float("inf") and b == float("inf")
+
+    def test_frozen(self, simple):
+        g, s, t = simple
+        inst = KRSPInstance(g, s, t, 2, 100)
+        ps = inst.path_set([[0, 1], [2, 3]])
+        with pytest.raises(Exception):
+            ps.cost = 0

@@ -1,0 +1,127 @@
+"""Tests for phase-1 providers (Lemma 5 and the Lagrangian invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KRSPInstance
+from repro.core.phase1 import (
+    PROVIDERS,
+    phase1_lagrangian,
+    phase1_lp_rounding,
+    phase1_minsum,
+)
+from repro.errors import InfeasibleInstanceError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights, parallel_chains
+from repro.graph.validate import check_disjoint_paths
+from repro.lp.milp import solve_krsp_milp
+from repro.lp.flow_lp import solve_flow_lp
+
+
+def make_instance(seed, n=11, k=2, D=45):
+    g = anticorrelated_weights(gnp_digraph(n, 0.4, rng=seed), rng=seed + 1)
+    try:
+        return KRSPInstance(g, 0, n - 1, k, D)
+    except Exception:
+        return None
+
+
+class TestMinsum:
+    def test_cost_is_lower_bound(self):
+        for seed in range(15):
+            inst = make_instance(seed)
+            try:
+                res = phase1_minsum(inst)
+            except InfeasibleInstanceError:
+                continue
+            exact = solve_krsp_milp(
+                inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+            )
+            if exact is None:
+                continue
+            assert res.solution.cost <= exact.cost
+            assert res.cost_lower_bound == res.solution.cost
+
+    def test_infeasible_raises(self):
+        g, s, t = parallel_chains(2, 2)
+        inst = KRSPInstance(g, s, t, 2, 100)
+        bad = KRSPInstance(g, s, t, 2, 100)
+        with pytest.raises(InfeasibleInstanceError):
+            phase1_minsum(KRSPInstance(g, s, t, 3, 100))
+
+    def test_paths_valid(self):
+        inst = make_instance(3)
+        res = phase1_minsum(inst)
+        check_disjoint_paths(
+            inst.graph,
+            [list(p) for p in res.solution.paths],
+            inst.s,
+            inst.t,
+            k=inst.k,
+        )
+
+
+class TestLpRounding:
+    def test_lemma5_score_bound(self):
+        checked = 0
+        for seed in range(20):
+            inst = make_instance(seed)
+            lp = solve_flow_lp(inst.graph, inst.s, inst.t, inst.k, inst.delay_bound)
+            if lp is None or lp.cost <= 0:
+                continue
+            res = phase1_lp_rounding(inst)
+            sol = res.solution
+            score = sol.delay / inst.delay_bound + sol.cost / lp.cost
+            assert score <= 2 + 1e-6, (seed, score)
+            # Lower bound reported matches the LP optimum.
+            assert abs(float(res.cost_lower_bound) - lp.cost) < 1e-4
+            checked += 1
+        assert checked >= 5
+
+    def test_lp_infeasible_raises(self):
+        g, s, t = parallel_chains(2, 2)
+        import numpy as np
+
+        g = g.with_weights(np.ones(g.m, np.int64), np.full(g.m, 50, np.int64))
+        inst = KRSPInstance(g, s, t, 2, 100)  # needs 200 delay
+        with pytest.raises(InfeasibleInstanceError):
+            phase1_lp_rounding(inst)
+
+
+class TestLagrangian:
+    def test_feasible_min_cost_is_exact(self):
+        g, ids = from_edges(
+            [("s", "t", 1, 1), ("s", "t", 2, 1), ("s", "t", 9, 9)]
+        )
+        inst = KRSPInstance(g, ids["s"], ids["t"], 2, 10)
+        res = phase1_lagrangian(inst)
+        assert res.solution.cost == 3
+        assert res.cost_lower_bound == 3
+
+    def test_crossing_flow_cost_under_opt(self):
+        checked = 0
+        for seed in range(20):
+            inst = make_instance(seed)
+            exact = solve_krsp_milp(
+                inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+            )
+            if exact is None:
+                continue
+            try:
+                res = phase1_lagrangian(inst)
+            except InfeasibleInstanceError:
+                continue
+            assert res.solution.cost <= exact.cost
+            assert res.cost_lower_bound <= exact.cost
+            checked += 1
+        assert checked >= 5
+
+    def test_infeasible_structure_raises(self):
+        g, s, t = parallel_chains(2, 2)
+        with pytest.raises(InfeasibleInstanceError):
+            phase1_lagrangian(KRSPInstance(g, s, t, 3, 100))
+
+
+def test_registry_complete():
+    assert set(PROVIDERS) == {"lp_rounding", "lagrangian", "minsum"}
+    for fn in PROVIDERS.values():
+        assert callable(fn)

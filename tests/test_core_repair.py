@@ -1,0 +1,139 @@
+"""Tests for online repair after link failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import repair_solution, solve_krsp, verify_solution
+from repro.errors import InfeasibleInstanceError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights
+from repro.graph.validate import check_disjoint_paths
+
+
+def provisioned(seed=2, n=12, k=2, D=60):
+    g = anticorrelated_weights(gnp_digraph(n, 0.45, rng=seed), rng=seed + 1)
+    sol = solve_krsp(g, 0, n - 1, k, D)
+    return g, sol, D
+
+
+class TestNoFailure:
+    def test_untouched_paths_pass_through(self):
+        g, sol, D = provisioned()
+        rep = repair_solution(g, 0, g.n - 1, 2, D, sol.paths, dead_edges=[])
+        assert rep.rerouted == 0 and rep.pinned == 2
+        assert rep.paths == sol.paths
+        assert rep.cost == sol.cost and rep.delay == sol.delay
+
+    def test_irrelevant_failure_ignored(self):
+        g, sol, D = provisioned()
+        used = set(e for p in sol.paths for e in p)
+        spare = [e for e in range(g.m) if e not in used][:2]
+        rep = repair_solution(g, 0, g.n - 1, 2, D, sol.paths, dead_edges=spare)
+        assert rep.rerouted == 0
+
+
+class TestReroute:
+    def test_broken_path_replaced(self):
+        g, sol, D = provisioned()
+        victim = sol.paths[0][0]
+        rep = repair_solution(g, 0, g.n - 1, 2, D, sol.paths, dead_edges=[victim])
+        assert rep.rerouted == 1 and rep.pinned == 1
+        check_disjoint_paths(g, rep.paths, 0, g.n - 1, k=2)
+        assert rep.delay <= D
+        # The dead edge is not used.
+        assert victim not in [e for p in rep.paths for e in p]
+        # The repaired set audits clean.
+        audit = verify_solution(g, 0, g.n - 1, 2, D, rep.paths)
+        assert audit.clean, audit.issues
+
+    def test_all_paths_broken(self):
+        g, sol, D = provisioned()
+        dead = [p[0] for p in sol.paths]
+        rep = repair_solution(g, 0, g.n - 1, 2, D, sol.paths, dead_edges=dead)
+        assert rep.rerouted == 2
+        check_disjoint_paths(g, rep.paths, 0, g.n - 1, k=2)
+        assert rep.delay <= D
+
+    def test_replacement_respects_pinning_disjointness(self):
+        g, sol, D = provisioned()
+        victim = sol.paths[1][0]
+        rep = repair_solution(g, 0, g.n - 1, 2, D, sol.paths, dead_edges=[victim])
+        pinned_edges = set(rep.paths[0])
+        replacement_edges = set(e for p in rep.paths[1:] for e in p)
+        assert not pinned_edges & replacement_edges
+
+
+class TestRepairInfeasible:
+    def test_cut_failure_raises(self):
+        # Two fixed routes; killing one bridge with no alternative.
+        g, ids = from_edges(
+            [("s", "a", 1, 1), ("a", "t", 1, 1), ("s", "b", 1, 1), ("b", "t", 1, 1)]
+        )
+        sol = solve_krsp(g, ids["s"], ids["t"], 2, 10)
+        with pytest.raises(InfeasibleInstanceError, match="repair"):
+            repair_solution(
+                g, ids["s"], ids["t"], 2, 10, sol.paths, dead_edges=[0]
+            )
+
+    def test_budget_too_tight_after_pinning(self):
+        # Survivor consumes the whole budget; replacement has none left.
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 10),
+                ("a", "t", 1, 10),
+                ("s", "b", 1, 1),
+                ("b", "t", 1, 1),
+                ("s", "c", 1, 5),
+                ("c", "t", 1, 5),
+            ]
+        )
+        sol = solve_krsp(g, ids["s"], ids["t"], 2, 22)
+        # Kill the fast pair's first edge; survivor = slow pair (delay 20),
+        # leaving budget 2 — the only remaining route needs 10.
+        paths = sorted(sol.paths, key=lambda p: g.delay_of(p))
+        fast, slow = paths[0], paths[-1]
+        with pytest.raises(InfeasibleInstanceError):
+            repair_solution(
+                g, ids["s"], ids["t"], 2, 22, [slow, fast], dead_edges=[fast[0]]
+            )
+
+
+class TestRepairProperty:
+    def test_random_failures_always_clean_or_infeasible(self):
+        """For random single-link failures on provisioned instances, repair
+        either returns a budget-feasible disjoint set avoiding the dead
+        link, or certifies that pinning admits no repair."""
+        import numpy as np
+
+        from repro.eval.workloads import er_anticorrelated
+
+        checked = 0
+        for inst in er_anticorrelated(n=12, p=0.45, k=2, n_instances=8, seed=4242):
+            try:
+                sol = solve_krsp(
+                    inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+                )
+            except InfeasibleInstanceError:
+                continue
+            rng = np.random.default_rng(inst.seed)
+            used = [e for p in sol.paths for e in p]
+            for _ in range(3):
+                victim = int(rng.choice(used))
+                try:
+                    rep = repair_solution(
+                        inst.graph,
+                        inst.s,
+                        inst.t,
+                        inst.k,
+                        inst.delay_bound,
+                        sol.paths,
+                        dead_edges=[victim],
+                    )
+                except InfeasibleInstanceError:
+                    continue
+                assert victim not in [e for p in rep.paths for e in p]
+                assert rep.delay <= inst.delay_bound
+                check_disjoint_paths(
+                    inst.graph, rep.paths, inst.s, inst.t, k=inst.k
+                )
+                checked += 1
+        assert checked >= 5

@@ -1,0 +1,89 @@
+"""Tests for the independent solution verifier."""
+
+import pytest
+
+from repro.core import solve_krsp, verify_solution
+from repro.errors import GraphError, InfeasibleInstanceError
+from repro.graph import from_edges, gnp_digraph, anticorrelated_weights
+
+
+def instance(seed=4):
+    g = anticorrelated_weights(gnp_digraph(10, 0.45, rng=seed), rng=seed + 1)
+    return g, 0, 9, 2, 45
+
+
+class TestCleanSolutions:
+    def test_solver_output_verifies_clean(self):
+        checked = 0
+        for seed in range(10):
+            g, s, t, k, D = instance(seed)
+            try:
+                sol = solve_krsp(g, s, t, k, D)
+            except InfeasibleInstanceError:
+                continue
+            rep = verify_solution(g, s, t, k, D, sol.paths, use_milp=True)
+            assert rep.clean, rep.issues
+            assert rep.cost == sol.cost and rep.delay == sol.delay
+            assert rep.approximation_ratio_upper_bound is not None
+            assert rep.exact_ratio is not None and rep.exact_ratio <= 2.0 + 1e-9
+            checked += 1
+        assert checked >= 3
+
+    def test_bounds_optional(self):
+        g, s, t, k, D = instance()
+        try:
+            sol = solve_krsp(g, s, t, k, D)
+        except InfeasibleInstanceError:
+            pytest.skip("infeasible seed")
+        rep = verify_solution(g, s, t, k, D, sol.paths, check_bounds=False)
+        assert rep.clean and rep.cost_lower_bound is None
+
+
+class TestBadSolutions:
+    def test_overlapping_paths_flagged(self):
+        g, ids = from_edges([("s", "t", 1, 1), ("s", "t", 2, 2)])
+        rep = verify_solution(g, ids["s"], ids["t"], 2, 10, [[0], [0]])
+        assert not rep.valid
+        assert any("structural" in i for i in rep.issues)
+
+    def test_wrong_k_flagged(self):
+        g, ids = from_edges([("s", "t", 1, 1), ("s", "t", 2, 2)])
+        rep = verify_solution(g, ids["s"], ids["t"], 2, 10, [[0]])
+        assert not rep.valid
+
+    def test_budget_violation_flagged(self):
+        g, ids = from_edges([("s", "t", 1, 9)])
+        rep = verify_solution(g, ids["s"], ids["t"], 1, 5, [[0]])
+        assert rep.valid and not rep.delay_feasible
+        assert not rep.clean
+        assert any("exceeds budget" in i for i in rep.issues)
+
+    def test_negative_weight_instance_rejected(self):
+        g, ids = from_edges([("s", "t", -1, 1)])
+        with pytest.raises(GraphError):
+            verify_solution(g, ids["s"], ids["t"], 1, 5, [[0]])
+
+    def test_not_a_path_flagged(self):
+        g, ids = from_edges([("s", "a", 1, 1), ("a", "t", 1, 1)])
+        rep = verify_solution(g, ids["s"], ids["t"], 1, 10, [[1, 0]])
+        assert not rep.valid
+
+
+class TestOracleCrossChecks:
+    def test_milp_consistency(self):
+        g, ids = from_edges(
+            [("s", "a", 1, 9), ("a", "t", 1, 9), ("s", "b", 5, 1), ("b", "t", 5, 1)]
+        )
+        # Optimal at D=2: the pricey pair (cost 10).
+        rep = verify_solution(
+            g, ids["s"], ids["t"], 1, 2, [[2, 3]], use_milp=True
+        )
+        assert rep.clean and rep.exact_ratio == 1.0
+
+    def test_suboptimal_but_clean(self):
+        g, ids = from_edges(
+            [("s", "t", 1, 1), ("s", "t", 9, 1)]
+        )
+        rep = verify_solution(g, ids["s"], ids["t"], 1, 5, [[1]], use_milp=True)
+        assert rep.clean
+        assert rep.exact_ratio == 9.0  # verifier reports, doesn't judge

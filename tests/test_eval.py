@@ -1,0 +1,190 @@
+"""Tests for the evaluation harness, metrics, workloads and reporting."""
+
+import pytest
+
+from repro.errors import InfeasibleInstanceError
+from repro.eval import (
+    EXPERIMENTS,
+    WORKLOADS,
+    figure1_instance,
+    figure2_instance,
+    format_series,
+    format_table,
+    group_by,
+    interesting_delay_bound,
+    measure_quality,
+    run_trials,
+    summarize,
+)
+from repro.eval.workloads import er_anticorrelated
+from repro.graph import gnp_digraph, anticorrelated_weights
+from repro.lp.milp import solve_krsp_milp
+
+
+class TestWorkloads:
+    def test_er_deterministic(self):
+        a = list(er_anticorrelated(n=10, n_instances=4, seed=5))
+        b = list(er_anticorrelated(n=10, n_instances=4, seed=5))
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.seed == y.seed and x.delay_bound == y.delay_bound
+            assert x.graph == y.graph
+
+    def test_budget_in_interesting_band(self):
+        for inst in er_anticorrelated(n=10, n_instances=6, seed=6):
+            # Feasible by construction (bound >= min achievable delay).
+            exact = solve_krsp_milp(
+                inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+            )
+            assert exact is not None
+
+    def test_tightness_ordering(self):
+        g = anticorrelated_weights(gnp_digraph(12, 0.4, rng=3), rng=4)
+        loose = interesting_delay_bound(g, 0, 11, 2, tightness=0.1)
+        tight = interesting_delay_bound(g, 0, 11, 2, tightness=0.9)
+        if loose is not None and tight is not None:
+            assert tight <= loose
+
+    def test_registry(self):
+        assert len(WORKLOADS) == 6
+
+
+class TestHarness:
+    def test_run_trials_records_failures(self):
+        instances = list(er_anticorrelated(n=10, n_instances=8, seed=9))
+        assert instances, "workload emitted no instances"
+
+        def good(inst):
+            return 1, 2, {}
+
+        def bad(inst):
+            raise InfeasibleInstanceError("nope")
+
+        records = run_trials(instances, {"good": good, "bad": bad})
+        assert len(records) == 2 * len(instances)
+        by_solver = group_by(records, lambda r: r.solver)
+        assert all(r.status == "ok" for r in by_solver["good"])
+        assert all(r.status == "infeasible" for r in by_solver["bad"])
+
+    def test_timing_captured(self):
+        instances = list(er_anticorrelated(n=10, n_instances=1, seed=9))
+        records = run_trials(instances, {"x": lambda i: (0, 0, {})})
+        assert all(r.seconds >= 0 for r in records)
+
+
+class TestMetrics:
+    def test_exact_normalization(self):
+        g = anticorrelated_weights(gnp_digraph(10, 0.45, rng=11), rng=12)
+        exact = solve_krsp_milp(g, 0, 9, 2, 50)
+        if exact is None:
+            pytest.skip("infeasible seed")
+        rep = measure_quality(g, 0, 9, 2, 50, cost=exact.cost, delay=exact.delay)
+        assert rep.beta_is_exact and rep.beta == pytest.approx(1.0)
+        assert rep.alpha <= 1.0
+        assert rep.lp_bound is not None and rep.lp_bound <= exact.cost + 1e-6
+
+    def test_lp_fallback(self):
+        g = anticorrelated_weights(gnp_digraph(10, 0.45, rng=11), rng=12)
+        rep = measure_quality(g, 0, 9, 2, 50, cost=30, delay=20, use_milp=False)
+        assert not rep.beta_is_exact
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0 and s["max"] == 3.0 and s["count"] == 3
+        assert summarize([])["count"] == 0
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+        assert "2.500" in out
+
+    def test_format_series(self):
+        out = format_series("x", ["y"], [(1, [2.0]), (2, [3.0])])
+        assert "x" in out and "2.000" in out
+
+    def test_empty_rows(self):
+        out = format_table(["h"], [])
+        assert "h" in out
+
+
+class TestFigures:
+    def test_figure1_shape(self):
+        for D in (4, 9):
+            g, ids = figure1_instance(D, c_opt=10)
+            exact = solve_krsp_milp(g, ids["s"], ids["t"], 2, D)
+            assert exact is not None and exact.cost == 10 and exact.delay == D
+
+    def test_figure1_trap_route_exists(self):
+        D = 6
+        g, ids = figure1_instance(D, c_opt=10)
+        # The trap solution {s-a-t, s-t} has delay 0, cost 10*(D+1)-1.
+        exact_zero = solve_krsp_milp(g, ids["s"], ids["t"], 2, 0)
+        assert exact_zero is not None
+        assert exact_zero.cost == 10 * (D + 1) - 1
+
+    def test_figure1_rejects_small_d(self):
+        with pytest.raises(ValueError):
+            figure1_instance(1)
+
+    def test_figure2_residual_wellformed(self):
+        from repro.core import build_residual
+
+        g, ids, path = figure2_instance()
+        assert g.n == 5
+        res = build_residual(g, path)
+        assert res.reversed_mask.sum() == 4
+
+
+class TestExperimentRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENTS) == {
+            "f1",
+            "f2",
+            "e1",
+            "e2",
+            "e3",
+            "e4",
+            "e5",
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+            "a1",
+            "a2",
+            "a3",
+            "e10",
+            "e11",
+        }
+
+    @pytest.mark.parametrize("exp", ["f2", "e9"])
+    def test_cheap_experiments_run(self, exp):
+        headers, rows = EXPERIMENTS[exp]()
+        assert headers and rows
+        for row in rows:
+            assert len(row) == len(headers)
+
+
+class TestTraceFormatting:
+    def test_format_trace_renders_records(self):
+        from repro.core import solve_krsp
+        from repro.eval import format_trace
+        from repro.graph import from_edges
+
+        g, ids = from_edges(
+            [("s", "a", 1, 9), ("a", "t", 1, 9), ("s", "b", 5, 1), ("b", "t", 5, 1)]
+        )
+        sol = solve_krsp(g, ids["s"], ids["t"], 1, 5, phase1="minsum")
+        out = format_trace(sol.records)
+        assert "cancellation trace" in out
+        assert "TYPE" in out and "-16" in out
+
+    def test_format_trace_empty(self):
+        from repro.eval import format_trace
+
+        out = format_trace([])
+        assert "cancellation trace" in out

@@ -1,0 +1,93 @@
+"""Tests for the parameter-grid sweep machinery."""
+
+import pytest
+
+from repro.eval import Sweep, pivot, run_sweep
+
+
+class TestSweepGrid:
+    def test_cells_cartesian_product(self):
+        s = Sweep(
+            family="er_anticorrelated",
+            family_params={"n": [10, 12], "tightness": [0.4, 0.6]},
+        )
+        cells = s.cells()
+        assert len(cells) == 4
+        assert {"n": 10, "tightness": 0.4} in cells
+
+    def test_empty_params_single_cell(self):
+        s = Sweep(family="er_anticorrelated")
+        assert s.cells() == [{}]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            run_sweep(Sweep(family="nope"))
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(KeyError):
+            run_sweep(
+                Sweep(family="er_anticorrelated", solvers=["nope"], n_instances=1)
+            )
+
+
+class TestRunSweep:
+    def test_records_tagged_with_cell(self):
+        s = Sweep(
+            family="er_anticorrelated",
+            family_params={"n": [10], "tightness": [0.5]},
+            solvers=["minsum"],
+            n_instances=10,
+            seed=31,
+        )
+        records = run_sweep(s)
+        assert records
+        for r in records:
+            assert r.extra["n"] == 10 and r.extra["tightness"] == 0.5
+            assert r.solver == "minsum"
+
+    def test_serial_and_parallel_agree(self):
+        s = Sweep(
+            family="er_anticorrelated",
+            family_params={"n": [10]},
+            solvers=["bicameral"],
+            n_instances=6,
+            seed=32,
+        )
+        serial = run_sweep(s, parallel=False)
+        par = run_sweep(s, parallel=True, max_workers=2)
+        assert [(r.seed, r.cost, r.delay) for r in serial] == [
+            (r.seed, r.cost, r.delay) for r in par
+        ]
+
+    def test_determinism(self):
+        s = Sweep(
+            family="er_anticorrelated",
+            family_params={"n": [10]},
+            solvers=["minsum"],
+            n_instances=6,
+            seed=33,
+        )
+        a = run_sweep(s)
+        b = run_sweep(s)
+        assert [(r.seed, r.cost) for r in a] == [(r.seed, r.cost) for r in b]
+
+
+class TestPivot:
+    def test_table_shape(self):
+        s = Sweep(
+            family="er_anticorrelated",
+            family_params={"tightness": [0.4, 0.7]},
+            solvers=["minsum"],
+            n_instances=6,
+            seed=34,
+        )
+        records = run_sweep(s)
+        table = pivot(
+            records,
+            row_key=lambda r: r.extra["tightness"],
+            metric=lambda r: float(r.cost) if r.cost is not None else None,
+        )
+        assert "cost_mean" in table
+        # one row per (tightness, solver) present in the records
+        present = {r.extra["tightness"] for r in records}
+        assert len(table.splitlines()) == 2 + len(present)

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; a broken example is a broken
+doc. Each runs in a subprocess with a generous timeout and must exit 0
+and produce its headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "paper_figures.py": "Figure 2",
+    "quickstart.py": "exact optimum",
+    "sdn_multipath.py": "cost/latency trade-off",
+    "video_streaming.py": "traffic class",
+    "resilient_backbone.py": "survival over",
+}
+
+
+@pytest.mark.parametrize("script,needle", sorted(CASES.items()))
+def test_example_runs(script, needle):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout
+
+
+def test_all_examples_covered():
+    """Adding an example without a smoke test should fail loudly."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(CASES)

@@ -1,0 +1,77 @@
+"""Cross-check tests: push-relabel vs BFS augmenting-path max-flow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.flow import decompose_flow, max_flow_value
+from repro.flow.preflow import preflow_max_flow
+from repro.graph import from_edges, gnp_digraph, parallel_chains
+from repro.graph.validate import check_disjoint_paths, degree_imbalance
+
+
+class TestBasics:
+    def test_parallel_chains(self):
+        for k in (1, 3):
+            g, s, t = parallel_chains(k, 3)
+            value, used = preflow_max_flow(g, s, t)
+            assert value == k
+
+    def test_bottleneck(self):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 1),
+                ("s", "b", 1, 1),
+                ("a", "m", 1, 1),
+                ("b", "m", 1, 1),
+                ("m", "t", 1, 1),
+            ]
+        )
+        value, _ = preflow_max_flow(g, ids["s"], ids["t"])
+        assert value == 1
+
+    def test_disconnected(self):
+        g, ids = from_edges([("a", "b", 1, 1)], nodes=["a", "b", "z"])
+        value, used = preflow_max_flow(g, ids["a"], ids["z"])
+        assert value == 0
+
+    def test_s_eq_t_rejected(self):
+        g, s, t = parallel_chains(1, 1)
+        with pytest.raises(GraphError):
+            preflow_max_flow(g, s, s)
+
+    def test_flow_mask_is_valid_flow(self):
+        g, ids = from_edges(
+            [
+                ("s", "a", 1, 1),
+                ("a", "b", 1, 1),
+                ("b", "t", 1, 1),
+                ("s", "b", 1, 1),
+                ("a", "t", 1, 1),
+            ]
+        )
+        value, used = preflow_max_flow(g, ids["s"], ids["t"])
+        assert value == 2
+        bal = degree_imbalance(g, np.nonzero(used)[0])
+        assert bal[ids["s"]] == value and bal[ids["t"]] == -value
+        paths, cycles = decompose_flow(
+            g, np.nonzero(used)[0], ids["s"], ids["t"]
+        )
+        assert len(paths) == value
+        check_disjoint_paths(g, paths, ids["s"], ids["t"])
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.integers(0, 200_000))
+def test_matches_bfs_maxflow(seed):
+    g = gnp_digraph(11, 0.3, rng=seed)
+    s, t = 0, g.n - 1
+    expected = max_flow_value(g, s, t)
+    value, used = preflow_max_flow(g, s, t)
+    assert value == expected
+    # The returned mask is always a valid integral flow of that value.
+    bal = degree_imbalance(g, np.nonzero(used)[0])
+    assert bal[s] == value and bal[t] == -value
+    inner = np.delete(bal, [s, t])
+    assert (inner == 0).all()

@@ -1,0 +1,81 @@
+"""Tests for the builders bridging DiGraph and friendlier forms."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DiGraph,
+    from_edges,
+    from_networkx,
+    gnp_digraph,
+    to_networkx,
+    uniform_weights,
+)
+
+
+class TestFromEdges:
+    def test_names_assigned_in_order(self):
+        g, ids = from_edges([("x", "y", 1, 2), ("y", "z", 3, 4)])
+        assert ids == {"x": 0, "y": 1, "z": 2}
+        assert g.n == 3 and g.m == 2
+
+    def test_explicit_nodes_pin_ids_and_isolates(self):
+        g, ids = from_edges([("b", "c", 1, 1)], nodes=["a", "b", "c", "lonely"])
+        assert ids["a"] == 0 and ids["lonely"] == 3
+        assert g.n == 4
+        assert g.out_degree(ids["lonely"]) == 0
+
+    def test_duplicate_explicit_nodes_deduplicated(self):
+        g, ids = from_edges([("a", "b", 1, 1)], nodes=["a", "a", "b"])
+        assert g.n == 2
+
+    def test_hashable_names(self):
+        g, ids = from_edges([((1, "pop"), (2, "pop"), 5, 6)])
+        assert g.m == 1 and ids[(1, "pop")] == 0
+
+    def test_weights_coerced_to_int(self):
+        g, ids = from_edges([("a", "b", 3.0, 4.0)])
+        assert int(g.cost[0]) == 3 and int(g.delay[0]) == 4
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip_exact(self):
+        g = uniform_weights(gnp_digraph(9, 0.4, rng=6), rng=7)
+        back = from_networkx(to_networkx(g))
+        # Edge order may permute within (u, v) groups; compare as multisets.
+        def key(graph):
+            return sorted(
+                zip(
+                    graph.tail.tolist(),
+                    graph.head.tolist(),
+                    graph.cost.tolist(),
+                    graph.delay.tolist(),
+                )
+            )
+
+        assert key(back) == key(g)
+
+    def test_to_networkx_carries_eids(self):
+        g, ids = from_edges([("a", "b", 1, 2), ("a", "b", 3, 4)])
+        nxg = to_networkx(g)
+        eids = sorted(d["eid"] for d in nxg[0][1].values())
+        assert eids == [0, 1]
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        nxg = nx.MultiDiGraph()
+        nxg.add_edge("a", "b", cost=1, delay=1)
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_from_networkx_custom_attribute_names(self):
+        nxg = nx.MultiDiGraph()
+        nxg.add_nodes_from([0, 1])
+        nxg.add_edge(0, 1, w=5, lat=7)
+        g = from_networkx(nxg, cost="w", delay="lat")
+        assert int(g.cost[0]) == 5 and int(g.delay[0]) == 7
+
+    def test_empty_graph(self):
+        nxg = nx.MultiDiGraph()
+        g = from_networkx(nxg)
+        assert g.n == 0 and g.m == 0

@@ -1,0 +1,157 @@
+"""Tests for topology generators and weight models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    anticorrelated_weights,
+    correlated_weights,
+    euclidean_weights,
+    gnp_digraph,
+    grid_digraph,
+    layered_dag,
+    parallel_chains,
+    ring_of_cliques,
+    uniform_weights,
+    waxman_digraph,
+)
+from repro.graph.validate import degree_imbalance
+
+
+class TestGnp:
+    def test_determinism(self):
+        a = gnp_digraph(15, 0.3, rng=11)
+        b = gnp_digraph(15, 0.3, rng=11)
+        assert a == b
+
+    def test_no_self_loops_or_duplicates(self):
+        g = gnp_digraph(20, 0.5, rng=1)
+        assert (g.tail != g.head).all()
+        pairs = set(zip(g.tail.tolist(), g.head.tolist()))
+        assert len(pairs) == g.m
+
+    def test_extreme_probabilities(self):
+        assert gnp_digraph(8, 0.0, rng=0).m == 0
+        assert gnp_digraph(8, 1.0, rng=0).m == 8 * 7
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphError):
+            gnp_digraph(5, 1.5)
+
+
+class TestWaxman:
+    def test_positions_shape_and_reproducibility(self):
+        g1, pos1 = waxman_digraph(12, rng=3)
+        g2, pos2 = waxman_digraph(12, rng=3)
+        assert g1 == g2 and np.allclose(pos1, pos2)
+        assert pos1.shape == (12, 2)
+
+    def test_alpha_scales_density(self):
+        sparse, _ = waxman_digraph(30, alpha=0.1, rng=5)
+        dense, _ = waxman_digraph(30, alpha=0.9, rng=5)
+        assert dense.m > sparse.m
+
+
+class TestGrid:
+    def test_counts(self):
+        g, s, t = grid_digraph(3, 4)
+        assert g.n == 12 and s == 0 and t == 11
+        # bidirectional grid: 2*(rows*(cols-1) + cols*(rows-1))
+        assert g.m == 2 * (3 * 3 + 4 * 2)
+
+    def test_unidirectional(self):
+        g, _, _ = grid_digraph(3, 3, bidirectional=False)
+        assert g.m == 3 * 2 + 3 * 2
+
+    def test_degenerate(self):
+        g, s, t = grid_digraph(1, 1)
+        assert g.n == 1 and g.m == 0 and s == t == 0
+        with pytest.raises(GraphError):
+            grid_digraph(0, 3)
+
+
+class TestLayeredDag:
+    def test_is_dag_and_terminals(self):
+        g, s, t = layered_dag(4, 3, rng=7)
+        assert s == 0 and t == g.n - 1
+        # DAG check: all edges go from lower to higher vertex id by
+        # construction (s=0 first, t last, ranks in order).
+        assert (g.tail < g.head).all()
+
+    def test_st_connectivity_width(self):
+        g, s, t = layered_dag(3, 2, rng=0, extra_skip_prob=0.0)
+        assert g.out_degree(s) == 2 and g.in_degree(t) == 2
+
+
+class TestRingOfCliques:
+    def test_terminals_distinct_cliques(self):
+        g, s, t = ring_of_cliques(4, 3, rng=1)
+        assert s // 3 == 0 and t // 3 == 2
+        assert g.n == 12
+
+    def test_chords_add_edges(self):
+        g0, _, _ = ring_of_cliques(4, 3, rng=2, chords=0)
+        g5, _, _ = ring_of_cliques(4, 3, rng=2, chords=5)
+        assert g5.m >= g0.m
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            ring_of_cliques(2, 3)
+
+
+class TestParallelChains:
+    @pytest.mark.parametrize("k,length", [(1, 1), (2, 3), (4, 2), (3, 5)])
+    def test_structure(self, k, length):
+        g, s, t = parallel_chains(k, length)
+        assert g.m == k * length
+        bal = degree_imbalance(g, list(range(g.m)))
+        assert bal[s] == k and bal[t] == -k
+        assert (np.delete(bal, [s, t]) == 0).all()
+
+    def test_length_one_is_parallel_edges(self):
+        g, s, t = parallel_chains(3, 1)
+        assert g.n == 2 and g.m == 3
+        assert (g.tail == s).all() and (g.head == t).all()
+
+
+class TestWeightModels:
+    def _topo(self):
+        return gnp_digraph(25, 0.3, rng=9)
+
+    def test_uniform_ranges(self):
+        g = uniform_weights(self._topo(), (2, 5), (7, 9), rng=1)
+        assert g.cost.min() >= 2 and g.cost.max() <= 5
+        assert g.delay.min() >= 7 and g.delay.max() <= 9
+
+    def test_uniform_bad_range(self):
+        with pytest.raises(GraphError):
+            uniform_weights(self._topo(), (5, 2), (1, 1))
+
+    def test_correlated_positive_correlation(self):
+        g = correlated_weights(self._topo(), (1, 50), noise=2, rng=4)
+        r = np.corrcoef(g.cost, g.delay)[0, 1]
+        assert r > 0.8
+
+    def test_anticorrelated_negative_correlation(self):
+        g = anticorrelated_weights(self._topo(), total=40, noise=1, rng=4)
+        r = np.corrcoef(g.cost, g.delay)[0, 1]
+        assert r < -0.8
+        assert (g.cost + g.delay >= 35).all()
+
+    def test_anticorrelated_nonnegative(self):
+        g = anticorrelated_weights(self._topo(), total=3, noise=3, rng=4)
+        assert g.delay.min() >= 0
+
+    def test_euclidean_requires_positions(self):
+        g, pos = waxman_digraph(10, rng=2)
+        weighted = euclidean_weights(g, pos, rng=3)
+        assert weighted.cost.min() >= 1 and weighted.delay.min() >= 1
+        with pytest.raises(GraphError):
+            euclidean_weights(g, pos[:5], rng=3)
+
+    def test_all_models_preserve_topology(self):
+        g = self._topo()
+        for model in (uniform_weights, correlated_weights, anticorrelated_weights):
+            w = model(g, rng=0)
+            assert np.array_equal(w.tail, g.tail) and np.array_equal(w.head, g.head)

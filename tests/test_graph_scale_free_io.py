@@ -1,0 +1,86 @@
+"""Tests for the scale-free generator and instance-level JSON I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    gnp_digraph,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+    scale_free_digraph,
+    uniform_weights,
+)
+
+
+class TestScaleFree:
+    def test_deterministic(self):
+        a = scale_free_digraph(25, 2, rng=8)
+        b = scale_free_digraph(25, 2, rng=8)
+        assert a == b
+
+    def test_edge_count(self):
+        n, m_attach = 30, 2
+        g = scale_free_digraph(n, m_attach, rng=1)
+        seed = (m_attach + 1) * m_attach  # directed clique edges
+        grown = 2 * m_attach * (n - m_attach - 1)  # bidirected attachments
+        assert g.m == seed + grown
+
+    def test_hub_formation(self):
+        g = scale_free_digraph(60, 2, rng=3)
+        deg = np.bincount(g.tail, minlength=g.n)
+        # Power-law-ish: the max degree dwarfs the median.
+        assert deg.max() >= 4 * np.median(deg)
+
+    def test_connected_from_any_vertex(self):
+        from repro.flow import max_flow_value
+
+        g = scale_free_digraph(20, 2, rng=5)
+        # Bidirected attachment keeps everything strongly connected.
+        assert max_flow_value(g, 19, 0) >= 1
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            scale_free_digraph(3, 3)
+        with pytest.raises(GraphError):
+            scale_free_digraph(5, 0)
+
+
+class TestInstanceIo:
+    def _instance(self):
+        g = uniform_weights(gnp_digraph(8, 0.4, rng=2), rng=3)
+        return g, 0, 7, 2, 33
+
+    def test_dict_round_trip(self):
+        g, s, t, k, D = self._instance()
+        g2, s2, t2, k2, D2 = instance_from_dict(instance_to_dict(g, s, t, k, D))
+        assert g2 == g and (s2, t2, k2, D2) == (s, t, k, D)
+
+    def test_file_round_trip(self, tmp_path):
+        g, s, t, k, D = self._instance()
+        path = tmp_path / "inst.json"
+        save_instance(path, g, s, t, k, D)
+        g2, s2, t2, k2, D2 = load_instance(path)
+        assert g2 == g and (s2, t2, k2, D2) == (s, t, k, D)
+
+    def test_bad_schema(self):
+        with pytest.raises(GraphError):
+            instance_from_dict({"schema": -1})
+
+    def test_solvable_after_round_trip(self, tmp_path):
+        from repro.core import solve_krsp
+        from repro.errors import InfeasibleInstanceError
+
+        g, s, t, k, D = self._instance()
+        path = tmp_path / "inst.json"
+        save_instance(path, g, s, t, k, D)
+        loaded = load_instance(path)
+        try:
+            a = solve_krsp(g, s, t, k, D)
+            b = solve_krsp(*loaded)
+            assert a.cost == b.cost and a.delay == b.delay
+        except InfeasibleInstanceError:
+            with pytest.raises(InfeasibleInstanceError):
+                solve_krsp(*loaded)

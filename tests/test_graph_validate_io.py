@@ -1,0 +1,156 @@
+"""Tests for structural validation helpers and JSON round-tripping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    check_disjoint_paths,
+    degree_imbalance,
+    from_edges,
+    gnp_digraph,
+    graph_from_dict,
+    graph_to_dict,
+    is_cycle,
+    is_path,
+    is_simple_path,
+    load_graph,
+    save_graph,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def g():
+    graph, ids = from_edges(
+        [
+            ("s", "a", 1, 1),  # 0
+            ("a", "t", 1, 1),  # 1
+            ("s", "b", 1, 1),  # 2
+            ("b", "t", 1, 1),  # 3
+            ("a", "b", 1, 1),  # 4
+            ("b", "a", 1, 1),  # 5
+            ("t", "s", 1, 1),  # 6
+        ]
+    )
+    return graph, ids
+
+
+class TestIsPath:
+    def test_valid_path(self, g):
+        graph, ids = g
+        assert is_path(graph, [0, 1], ids["s"], ids["t"])
+        assert is_simple_path(graph, [0, 1], ids["s"], ids["t"])
+
+    def test_wrong_order(self, g):
+        graph, ids = g
+        assert not is_path(graph, [1, 0], ids["s"], ids["t"])
+
+    def test_wrong_endpoints(self, g):
+        graph, ids = g
+        assert not is_path(graph, [0], ids["s"], ids["t"])
+
+    def test_empty_path_only_for_s_eq_t(self, g):
+        graph, ids = g
+        assert is_path(graph, [], ids["s"], ids["s"])
+        assert not is_path(graph, [], ids["s"], ids["t"])
+
+    def test_nonsimple_walk_detected(self, g):
+        graph, ids = g
+        # s->a->b->a->t revisits a.
+        walk = [0, 4, 5, 1]
+        assert is_path(graph, walk, ids["s"], ids["t"])
+        assert not is_simple_path(graph, walk, ids["s"], ids["t"])
+
+    def test_bad_edge_id(self, g):
+        graph, ids = g
+        assert not is_path(graph, [99], ids["s"], ids["t"])
+
+
+class TestCheckDisjoint:
+    def test_accepts_disjoint(self, g):
+        graph, ids = g
+        check_disjoint_paths(graph, [[0, 1], [2, 3]], ids["s"], ids["t"], k=2)
+
+    def test_rejects_shared_edge(self, g):
+        graph, ids = g
+        with pytest.raises(GraphError, match="share"):
+            check_disjoint_paths(graph, [[0, 1], [0, 4, 3]], ids["s"], ids["t"])
+
+    def test_rejects_wrong_count(self, g):
+        graph, ids = g
+        with pytest.raises(GraphError, match="expected"):
+            check_disjoint_paths(graph, [[0, 1]], ids["s"], ids["t"], k=2)
+
+    def test_rejects_non_path(self, g):
+        graph, ids = g
+        with pytest.raises(GraphError, match="not an s-t path"):
+            check_disjoint_paths(graph, [[1, 0]], ids["s"], ids["t"])
+
+    def test_rejects_repeated_edge_within_path(self, g):
+        graph, ids = g
+        # s->a->b->a->... cannot repeat an edge id; construct explicitly:
+        with pytest.raises(GraphError):
+            check_disjoint_paths(graph, [[0, 4, 5, 4, 3]], ids["s"], ids["t"])
+
+    def test_parallel_edges_are_distinct(self):
+        graph, ids = from_edges([("s", "t", 1, 1), ("s", "t", 2, 2)])
+        check_disjoint_paths(graph, [[0], [1]], ids["s"], ids["t"], k=2)
+
+
+class TestCycle:
+    def test_valid_cycle(self, g):
+        graph, _ = g
+        assert is_cycle(graph, [4, 5])  # a->b->a
+        assert is_cycle(graph, [0, 1, 6])  # s->a->t->s
+
+    def test_invalid(self, g):
+        graph, _ = g
+        assert not is_cycle(graph, [])
+        assert not is_cycle(graph, [0, 1])  # open walk
+        assert not is_cycle(graph, [0, 3])  # disconnected hops
+
+
+class TestImbalance:
+    def test_flow_imbalance(self, g):
+        graph, ids = g
+        bal = degree_imbalance(graph, [0, 1, 2, 3])
+        assert bal[ids["s"]] == 2 and bal[ids["t"]] == -2
+        assert bal[ids["a"]] == 0 and bal[ids["b"]] == 0
+
+    def test_cycle_balanced(self, g):
+        graph, _ = g
+        assert (degree_imbalance(graph, [4, 5]) == 0).all()
+
+    def test_empty(self, g):
+        graph, _ = g
+        assert (degree_imbalance(graph, []) == 0).all()
+
+
+class TestIo:
+    def test_round_trip_memory(self):
+        g = uniform_weights(gnp_digraph(10, 0.4, rng=0), rng=1)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_round_trip_file(self, tmp_path):
+        g = uniform_weights(gnp_digraph(8, 0.5, rng=2), rng=3)
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+    def test_json_is_plain(self, tmp_path):
+        g = uniform_weights(gnp_digraph(4, 0.5, rng=2), rng=3)
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1 and isinstance(data["cost"], list)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"schema": 99})
+
+    def test_big_integers_survive(self):
+        graph, _ = from_edges([("a", "b", 2**62, 2**61)])
+        assert graph_from_dict(graph_to_dict(graph)) == graph

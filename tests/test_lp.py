@@ -1,0 +1,176 @@
+"""Tests for the LP substrate: flow LP, score-monotone rounding, MILP oracle."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow import decompose_flow
+from repro.graph import (
+    from_edges,
+    gnp_digraph,
+    parallel_chains,
+    to_networkx,
+    uniform_weights,
+    anticorrelated_weights,
+)
+from repro.graph.validate import check_disjoint_paths
+from repro.lp import (
+    incidence_matrix,
+    round_flow_score_monotone,
+    solve_flow_lp,
+    solve_krsp_milp,
+)
+
+
+def brute_force_krsp(g, s, t, k, D):
+    """Reference oracle: enumerate all k-subsets of simple paths."""
+    nxg = to_networkx(g)
+    all_paths = []
+    for node_path in nx.all_simple_paths(nxg, s, t):
+        options = [
+            [d["eid"] for d in nxg[u][v].values()]
+            for u, v in zip(node_path, node_path[1:])
+        ]
+        for combo in itertools.product(*options):
+            all_paths.append(list(combo))
+    best = None
+    for subset in itertools.combinations(all_paths, k):
+        edges = [e for p in subset for e in p]
+        if len(set(edges)) != len(edges):
+            continue
+        cost, delay = g.cost_of(edges), g.delay_of(edges)
+        if delay <= D and (best is None or cost < best):
+            best = cost
+    return best
+
+
+class TestIncidence:
+    def test_flow_conservation_row_sums(self):
+        g, s, t = parallel_chains(2, 3)
+        A = incidence_matrix(g)
+        x = np.ones(g.m)
+        net = A @ x
+        assert net[s] == 2 and net[t] == -2
+        assert np.count_nonzero(net) == 2
+
+
+class TestFlowLp:
+    def test_lower_bounds_opt(self):
+        for seed in range(15):
+            g = anticorrelated_weights(gnp_digraph(9, 0.4, rng=seed), rng=seed + 1)
+            D = 30
+            lp = solve_flow_lp(g, 0, 8, 2, D)
+            exact = solve_krsp_milp(g, 0, 8, 2, D)
+            if exact is None:
+                continue  # LP may still be feasible fractionally
+            assert lp is not None
+            assert lp.cost <= exact.cost + 1e-6
+            assert lp.delay <= D + 1e-6
+
+    def test_infeasible_when_disconnected(self):
+        g, ids = from_edges([("s", "a", 1, 1)], nodes=["s", "a", "t"])
+        assert solve_flow_lp(g, ids["s"], ids["t"], 1, 10) is None
+
+    def test_infeasible_when_budget_impossible(self):
+        g, s, t = parallel_chains(2, 2)
+        g = g.with_weights(np.ones(g.m, np.int64), np.ones(g.m, np.int64) * 5)
+        # 2 paths x 2 edges x delay 5 = 20 minimum.
+        assert solve_flow_lp(g, s, t, 2, 19) is None
+        assert solve_flow_lp(g, s, t, 2, 20) is not None
+
+    def test_fractional_beats_integral_when_budget_fractional(self):
+        # Two routes: cheap/slow and expensive/fast; a budget between the
+        # two forces the LP to mix them.
+        g, ids = from_edges([("s", "t", 1, 10), ("s", "t", 10, 1)])
+        lp = solve_flow_lp(g, ids["s"], ids["t"], 1, 5)
+        assert lp is not None
+        assert 0.4 < lp.x[0] < 0.7  # mixes the two edges
+        assert lp.cost < 10
+
+    def test_dual_delay_nonnegative(self):
+        g, ids = from_edges([("s", "t", 1, 10), ("s", "t", 10, 1)])
+        lp = solve_flow_lp(g, ids["s"], ids["t"], 1, 5)
+        assert lp.dual_delay is not None and lp.dual_delay >= 0
+
+
+class TestRounding:
+    def test_integral_input_passthrough(self):
+        g, s, t = parallel_chains(2, 2)
+        x = np.ones(g.m)
+        mask = round_flow_score_monotone(g, x, 1.0, 1.0)
+        assert mask.all()
+
+    def test_rounds_fractional_mixture(self):
+        g, ids = from_edges([("s", "t", 1, 10), ("s", "t", 10, 1)])
+        lp = solve_flow_lp(g, ids["s"], ids["t"], 1, 5)
+        mask = round_flow_score_monotone(g, lp.x, max(lp.cost, 1e-9), 5)
+        eids = np.nonzero(mask)[0]
+        # Result must be exactly one of the two parallel edges.
+        assert len(eids) == 1
+        # Score guarantee: d/D + c/C_LP <= 2.
+        score = g.delay_of(eids) / 5 + g.cost_of(eids) / lp.cost
+        assert score <= 2 + 1e-6
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(0, 100_000), st.integers(1, 3))
+    def test_score_never_exceeds_two(self, seed, k):
+        g = anticorrelated_weights(gnp_digraph(10, 0.35, rng=seed), rng=seed + 1)
+        s, t = 0, g.n - 1
+        D = 40
+        lp = solve_flow_lp(g, s, t, k, D)
+        if lp is None:
+            return
+        cost_norm = max(lp.cost, 1e-9)
+        mask = round_flow_score_monotone(g, lp.x, cost_norm, D)
+        eids = np.nonzero(mask)[0]
+        # Valid integral k-flow...
+        paths, cycles = decompose_flow(g, eids, s, t)
+        assert len(paths) == k
+        check_disjoint_paths(g, paths, s, t, k=k)
+        # ...satisfying the Lemma 5 score bound.
+        score = g.delay_of(eids) / D + g.cost_of(eids) / cost_norm
+        assert score <= 2 + 1e-6
+
+
+class TestMilp:
+    def test_infeasible_cases(self):
+        g, s, t = parallel_chains(2, 2)
+        assert solve_krsp_milp(g, s, t, 3, 100) is None  # not enough paths
+        g2 = g.with_weights(g.cost, np.ones(g.m, np.int64) * 10)
+        assert solve_krsp_milp(g2, s, t, 2, 10) is None  # budget too tight
+
+    def test_k_zero_trivial(self):
+        g, s, t = parallel_chains(1, 1)
+        sol = solve_krsp_milp(g, s, t, 0, 0)
+        assert sol.paths == [] and sol.cost == 0
+
+    def test_diamond_tradeoff(self, diamond):
+        g, ids = diamond
+        s, t = ids["s"], ids["t"]
+        # k=2 must take both routes regardless.
+        sol = solve_krsp_milp(g, s, t, 2, 100)
+        assert sol.cost == 22 and sol.delay == 22
+        assert solve_krsp_milp(g, s, t, 2, 21) is None
+
+    def test_delay_budget_steers_k1(self, diamond):
+        g, ids = diamond
+        assert solve_krsp_milp(g, ids["s"], ids["t"], 1, 20).cost == 2
+        assert solve_krsp_milp(g, ids["s"], ids["t"], 1, 19).cost == 20
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 100_000), st.integers(1, 2), st.integers(5, 40))
+    def test_matches_brute_force(self, seed, k, D):
+        g = uniform_weights(gnp_digraph(7, 0.35, rng=seed), (1, 9), (1, 9), rng=seed + 1)
+        s, t = 0, 6
+        sol = solve_krsp_milp(g, s, t, k, D)
+        expected = brute_force_krsp(g, s, t, k, D)
+        if expected is None:
+            assert sol is None
+        else:
+            assert sol is not None
+            assert sol.cost == expected
+            assert sol.delay <= D
+            check_disjoint_paths(g, sol.paths, s, t, k=k)

@@ -1,0 +1,73 @@
+"""Additional coverage: metrics corner cases and report formatting."""
+
+import pytest
+
+from repro.eval.metrics import QualityReport, measure_quality, summarize
+from repro.eval.reporting import format_series, format_table
+from repro.graph import from_edges
+
+
+class TestMeasureQuality:
+    def test_infeasible_instance_inf_beta(self):
+        # No path at all: both oracles come back empty.
+        g, ids = from_edges([("s", "a", 1, 1)], nodes=["s", "a", "t"])
+        rep = measure_quality(g, ids["s"], ids["t"], 1, 10, cost=5, delay=5)
+        assert rep.opt_cost is None and rep.lp_bound is None
+        assert rep.beta == float("inf")
+        assert not rep.beta_is_exact
+
+    def test_zero_budget_alpha(self):
+        g, ids = from_edges([("s", "t", 1, 0)])
+        rep = measure_quality(g, ids["s"], ids["t"], 1, 0, cost=1, delay=0)
+        assert rep.alpha == 0.0
+
+    def test_milp_disabled_uses_lp(self):
+        g, ids = from_edges([("s", "t", 4, 1), ("s", "t", 9, 1)])
+        rep = measure_quality(g, ids["s"], ids["t"], 1, 5, cost=9, delay=1,
+                              use_milp=False)
+        assert rep.opt_cost is None
+        assert rep.lp_bound == pytest.approx(4.0)
+        assert rep.beta == pytest.approx(9 / 4)
+
+    def test_exact_beats_lp_normalization(self):
+        g, ids = from_edges([("s", "t", 4, 1), ("s", "t", 9, 1)])
+        rep = measure_quality(g, ids["s"], ids["t"], 1, 5, cost=4, delay=1)
+        assert rep.beta_is_exact and rep.beta == 1.0
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s == {"count": 1, "mean": 7.0, "max": 7.0, "min": 7.0}
+
+    def test_negative_values(self):
+        s = summarize([-1.0, 1.0])
+        assert s["mean"] == 0.0 and s["min"] == -1.0
+
+
+class TestFormatting:
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.234" not in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b", "c"], [["s", 2, 3.5]])
+        assert "3.500" in out
+
+    def test_series_multiple_columns(self):
+        out = format_series("n", ["t1", "t2"], [(10, [0.5, 0.7])])
+        lines = out.splitlines()
+        assert "t1" in lines[0] and "t2" in lines[0]
+        assert "0.500" in out and "0.700" in out
+
+    def test_wide_cells_align(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell-value"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_quality_report_dataclass(self):
+        rep = QualityReport(
+            cost=1, delay=2, opt_cost=None, lp_bound=None,
+            alpha=0.5, beta=1.0, beta_is_exact=False,
+        )
+        assert rep.alpha == 0.5

@@ -1,0 +1,103 @@
+"""Tests for Dijkstra (incl. potentials) against networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, from_edges, gnp_digraph, to_networkx, uniform_weights
+from repro.paths import INF, dijkstra, extract_path
+
+
+class TestBasics:
+    def test_line_graph(self):
+        g, ids = from_edges([("a", "b", 2, 0), ("b", "c", 3, 0)])
+        dist, pred = dijkstra(g, ids["a"])
+        assert dist[ids["c"]] == 5
+        assert extract_path(pred, g, ids["c"]) == [0, 1]
+
+    def test_unreachable_inf(self):
+        g, ids = from_edges([("a", "b", 1, 0)], nodes=["a", "b", "z"])
+        dist, _ = dijkstra(g, ids["a"])
+        assert dist[ids["z"]] == INF
+
+    def test_source_distance_zero_empty_path(self):
+        g, ids = from_edges([("a", "b", 1, 0)])
+        dist, pred = dijkstra(g, ids["a"])
+        assert dist[ids["a"]] == 0
+        assert extract_path(pred, g, ids["a"]) == []
+
+    def test_parallel_edges_take_cheaper(self):
+        g, ids = from_edges([("a", "b", 9, 0), ("a", "b", 4, 0)])
+        dist, pred = dijkstra(g, ids["a"])
+        assert dist[ids["b"]] == 4
+        assert extract_path(pred, g, ids["b"]) == [1]
+
+    def test_alternative_weight_array(self):
+        g, ids = from_edges([("a", "b", 1, 7), ("a", "b", 2, 3)])
+        dist, pred = dijkstra(g, ids["a"], weight=g.delay)
+        assert dist[ids["b"]] == 3
+
+    def test_negative_weight_rejected(self):
+        g, ids = from_edges([("a", "b", -1, 0)])
+        with pytest.raises(GraphError):
+            dijkstra(g, ids["a"])
+
+    def test_early_exit_target_settled(self):
+        g, ids = from_edges(
+            [("a", "b", 1, 0), ("b", "c", 1, 0), ("a", "c", 5, 0), ("c", "d", 1, 0)]
+        )
+        dist, _ = dijkstra(g, ids["a"], target=ids["b"])
+        assert dist[ids["b"]] == 1
+
+    def test_weight_length_mismatch(self):
+        g, ids = from_edges([("a", "b", 1, 0)])
+        with pytest.raises(GraphError):
+            dijkstra(g, 0, weight=np.zeros(5, dtype=np.int64))
+
+
+class TestPotentials:
+    def test_valid_potentials_give_true_distances(self):
+        g = uniform_weights(gnp_digraph(20, 0.3, rng=4), rng=5)
+        base, _ = dijkstra(g, 0)
+        # Use the distances themselves as potentials: reduced costs of tree
+        # edges become 0, everything stays nonnegative (triangle inequality).
+        reachable = base < INF
+        pi = np.where(reachable, base, INF).astype(np.int64)
+        # Restrict to the reachable subgraph to keep reduced costs defined.
+        keep = np.nonzero(reachable[g.tail] & reachable[g.head])[0]
+        sub = g.subgraph_edges(keep)
+        dist, _ = dijkstra(sub, 0, potential=pi)
+        assert np.array_equal(dist[reachable], base[reachable])
+
+    def test_invalid_potentials_detected(self):
+        g, ids = from_edges([("a", "b", 1, 0)])
+        pi = np.array([0, 100], dtype=np.int64)  # reduced cost 1 + 0 - 100 < 0
+        with pytest.raises(GraphError, match="potentials"):
+            dijkstra(g, ids["a"], potential=pi)
+
+    def test_potentials_enable_negative_raw_weights(self):
+        # b->c has raw weight -2 but pi = exact distances fixes it.
+        g, ids = from_edges([("a", "b", 3, 0), ("b", "c", -2, 0), ("a", "c", 2, 0)])
+        pi = np.array([0, 3, 1], dtype=np.int64)  # true distances
+        dist, pred = dijkstra(g, ids["a"], potential=pi)
+        assert dist[ids["c"]] == 1
+        assert extract_path(pred, g, ids["c"]) == [0, 1]
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 10_000))
+def test_matches_networkx_random(seed):
+    g = uniform_weights(gnp_digraph(14, 0.25, rng=seed), rng=seed + 1)
+    dist, pred = dijkstra(g, 0)
+    nxg = to_networkx(g)
+    nx_dist = nx.single_source_dijkstra_path_length(nxg, 0, weight="cost")
+    for v in range(g.n):
+        if v in nx_dist:
+            assert int(dist[v]) == nx_dist[v]
+            # Extracted path must be a real path achieving the distance.
+            path = extract_path(pred, g, v)
+            assert g.cost_of(path) == nx_dist[v]
+        else:
+            assert dist[v] == INF

@@ -1,0 +1,103 @@
+"""Tests for Karp's minimum mean cycle against brute-force enumeration."""
+
+import itertools
+from fractions import Fraction
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, from_edges, gnp_digraph, to_networkx
+from repro.graph.validate import is_cycle
+from repro.paths.karp_mmc import minimum_mean_cycle
+
+
+def brute_force_mmc(g, w):
+    nxg = to_networkx(g)
+    best = None
+    for node_cycle in nx.simple_cycles(nxg):
+        hops = list(zip(node_cycle, node_cycle[1:] + [node_cycle[0]]))
+        options = []
+        ok = True
+        for a, b in hops:
+            if not nxg.has_edge(a, b):
+                ok = False
+                break
+            options.append([d["eid"] for d in nxg[a][b].values()])
+        if not ok:
+            continue
+        for combo in itertools.product(*options):
+            mean = Fraction(int(w[list(combo)].sum()), len(combo))
+            if best is None or mean < best:
+                best = mean
+    return best
+
+
+class TestBasics:
+    def test_single_cycle(self):
+        g, ids = from_edges([("a", "b", 3, 0), ("b", "a", 5, 0)])
+        mean, cyc = minimum_mean_cycle(g)
+        assert mean == Fraction(8, 2) == 4
+        assert sorted(cyc) == [0, 1]
+
+    def test_picks_cheaper_of_two(self):
+        g, ids = from_edges(
+            [
+                ("a", "b", 1, 0), ("b", "a", 1, 0),      # mean 1
+                ("c", "d", 1, 0), ("d", "c", 5, 0),      # mean 3
+            ]
+        )
+        mean, cyc = minimum_mean_cycle(g)
+        assert mean == 1 and sorted(cyc) == [0, 1]
+
+    def test_negative_weights(self):
+        g, ids = from_edges([("a", "b", -4, 0), ("b", "a", 1, 0)])
+        mean, cyc = minimum_mean_cycle(g)
+        assert mean == Fraction(-3, 2)
+
+    def test_self_loop(self):
+        g, ids = from_edges([("a", "a", -7, 0), ("a", "b", 0, 0), ("b", "a", 0, 0)])
+        mean, cyc = minimum_mean_cycle(g)
+        assert mean == -7 and cyc == [0]
+
+    def test_acyclic_none(self):
+        g, ids = from_edges([("a", "b", 1, 0), ("b", "c", 1, 0)])
+        assert minimum_mean_cycle(g) is None
+
+    def test_empty(self):
+        assert minimum_mean_cycle(DiGraph.empty(4)) is None
+
+    def test_disconnected_components(self):
+        # The better cycle is unreachable from vertex 0's component.
+        g, ids = from_edges(
+            [("a", "b", 9, 0), ("b", "a", 9, 0), ("x", "y", 1, 0), ("y", "x", 1, 0)]
+        )
+        mean, _ = minimum_mean_cycle(g)
+        assert mean == 1
+
+    def test_weight_override_and_validation(self):
+        g, ids = from_edges([("a", "b", 1, 7), ("b", "a", 1, 9)])
+        mean, _ = minimum_mean_cycle(g, weight=g.delay)
+        assert mean == 8
+        with pytest.raises(GraphError):
+            minimum_mean_cycle(g, weight=np.zeros(5, dtype=np.int64))
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 100_000))
+def test_matches_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    g = gnp_digraph(7, 0.35, rng=int(rng.integers(1 << 30)))
+    w = rng.integers(-5, 10, size=g.m).astype(np.int64)
+    g = g.with_weights(w, np.zeros(g.m, dtype=np.int64))
+    expected = brute_force_mmc(g, w)
+    got = minimum_mean_cycle(g, weight=w)
+    if expected is None:
+        assert got is None
+    else:
+        mean, cyc = got
+        assert mean == expected
+        assert is_cycle(g, cyc)
+        assert Fraction(int(w[np.asarray(cyc)].sum()), len(cyc)) == mean

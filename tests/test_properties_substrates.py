@@ -1,0 +1,140 @@
+"""Substrate-level property laws, hypothesis-driven.
+
+The complement of the end-to-end suite: laws that individual substrates
+must satisfy in isolation, discovered inputs free of charge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import build_residual, scale_instance, KRSPInstance
+from repro.flow import (
+    decompose_flow,
+    min_cost_k_flow,
+    preflow_max_flow,
+    suurballe_k_paths,
+)
+from repro.graph import gnp_digraph, anticorrelated_weights, uniform_weights
+from repro.paths import dijkstra, minimum_mean_cycle, rsp_exact, yen_k_shortest_paths
+from repro.paths.dijkstra import INF
+
+COMMON = dict(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6))
+def test_suurballe_monotone_in_k(seed):
+    """Total min-sum cost is nondecreasing and superadditive-ish in k:
+    cost(k) <= cost(k+1), and each increment is at least the previous
+    single-path cost increment's floor (convexity of min-cost flow)."""
+    g = uniform_weights(gnp_digraph(10, 0.45, rng=seed), rng=seed + 1)
+    costs = []
+    for k in (1, 2, 3):
+        paths = suurballe_k_paths(g, 0, 9, k)
+        if paths is None:
+            break
+        costs.append(sum(g.cost_of(p) for p in paths))
+    for a, b in zip(costs, costs[1:]):
+        assert a <= b
+    if len(costs) == 3:
+        # Convexity: marginal cost of the 3rd path >= marginal of the 2nd.
+        assert costs[2] - costs[1] >= costs[1] - costs[0]
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6))
+def test_residual_involution(seed):
+    """Building a residual of a residual with the same edge set restores
+    the original weights (negation is an involution)."""
+    g = uniform_weights(gnp_digraph(8, 0.4, rng=seed), rng=seed + 1)
+    paths = suurballe_k_paths(g, 0, 7, 1)
+    if paths is None:
+        return
+    sol = sorted(e for p in paths for e in p)
+    res1 = build_residual(g, sol)
+    res2 = build_residual(res1.graph, sol)
+    # Twice-reversed edges match the original exactly.
+    assert np.array_equal(np.abs(res2.graph.cost), np.abs(g.cost))
+    assert np.array_equal(res2.graph.cost[sol], g.cost[sol])
+    assert np.array_equal(res2.graph.tail[sol], g.tail[sol])
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6), st.integers(1, 40))
+def test_rsp_monotone_in_budget(seed, D):
+    """A larger delay budget never costs more."""
+    g = anticorrelated_weights(gnp_digraph(8, 0.4, rng=seed), rng=seed + 1)
+    a = rsp_exact(g, 0, 7, D)
+    b = rsp_exact(g, 0, 7, D + 5)
+    if a is not None:
+        assert b is not None and b[0] <= a[0]
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6))
+def test_mmc_lower_bounds_any_cycle(seed):
+    """The minimum mean is a true lower bound: no negative cycle under
+    w - mu* exists (checked via Bellman-Ford)."""
+    from repro.paths import find_negative_cycle
+
+    rng = np.random.default_rng(seed)
+    g = gnp_digraph(8, 0.35, rng=int(rng.integers(1 << 30)))
+    w = rng.integers(-4, 8, size=g.m).astype(np.int64)
+    g = g.with_weights(w, np.zeros(g.m, np.int64))
+    hit = minimum_mean_cycle(g, weight=w)
+    if hit is None:
+        return
+    mean, _ = hit
+    w2 = w * mean.denominator - mean.numerator
+    assert find_negative_cycle(g, weight=w2) is None
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6))
+def test_yen_prefix_stability(seed):
+    """The first K' of K shortest paths equal the K'-query exactly."""
+    g = uniform_weights(gnp_digraph(9, 0.4, rng=seed), rng=seed + 1)
+    big = yen_k_shortest_paths(g, 0, 8, 6)
+    small = yen_k_shortest_paths(g, 0, 8, 3)
+    assert big[: len(small)] == small
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6), st.sampled_from([0.5, 0.25]))
+def test_scaling_preserves_feasibility_exactly(seed, eps):
+    """Every original-feasible path set stays feasible after scaling
+    (floors only shrink) — the direction Theorem 4's proof needs."""
+    from repro.lp.milp import solve_krsp_milp
+
+    g = anticorrelated_weights(gnp_digraph(9, 0.45, rng=seed), total=80, rng=seed + 1)
+    D = 120
+    exact = solve_krsp_milp(g, 0, 8, 2, D)
+    if exact is None:
+        return
+    inst = KRSPInstance(g, 0, 8, 2, D)
+    scaled = scale_instance(inst, eps, eps, max(1, exact.cost))
+    flat = [e for p in exact.paths for e in p]
+    assert scaled.instance.graph.delay_of(flat) <= scaled.instance.delay_bound
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10**6))
+def test_mincost_flow_lower_bounds_any_k_paths(seed):
+    """min_cost_k_flow's weight is a true lower bound over every disjoint
+    k-path system (checked against Yen-pool assemblies)."""
+    g = uniform_weights(gnp_digraph(9, 0.45, rng=seed), rng=seed + 1)
+    res = min_cost_k_flow(g, 0, 8, 2)
+    if res is None:
+        return
+    pool = yen_k_shortest_paths(g, 0, 8, 10)
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            if set(pool[i]) & set(pool[j]):
+                continue
+            total = g.cost_of(pool[i]) + g.cost_of(pool[j])
+            assert total >= res.weight

@@ -1,0 +1,109 @@
+"""Tests for Dial's bucket queue and the bucketed Dijkstra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util.buckets import BucketQueue, dial_dijkstra
+from repro.errors import GraphError
+from repro.graph import gnp_digraph, uniform_weights
+from repro.paths import dijkstra
+
+
+class TestBucketQueue:
+    def test_pops_in_key_order(self):
+        q = BucketQueue(5, 10)
+        for item, key in [(0, 7), (1, 2), (2, 9), (3, 2)]:
+            q.push_or_decrease(item, key)
+        popped = [q.pop() for _ in range(4)]
+        assert [k for _, k in popped] == [2, 2, 7, 9]
+
+    def test_decrease_key(self):
+        q = BucketQueue(3, 10)
+        q.push_or_decrease(0, 8)
+        assert q.push_or_decrease(0, 3)
+        item, key = q.pop()
+        assert (item, key) == (0, 3)
+        assert not q  # stale entry at 8 must not resurface
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_increase_ignored(self):
+        q = BucketQueue(3, 10)
+        q.push_or_decrease(0, 3)
+        assert not q.push_or_decrease(0, 8)
+        assert q.pop() == (0, 3)
+
+    def test_monotonicity_enforced(self):
+        q = BucketQueue(3, 10)
+        q.push_or_decrease(0, 5)
+        q.pop()
+        with pytest.raises(GraphError):
+            q.push_or_decrease(1, 3)
+
+    def test_key_range_validated(self):
+        q = BucketQueue(2, 5)
+        with pytest.raises(GraphError):
+            q.push_or_decrease(0, 6)
+        with pytest.raises(GraphError):
+            BucketQueue(2, -1)
+
+    def test_len(self):
+        q = BucketQueue(4, 4)
+        assert len(q) == 0
+        q.push_or_decrease(1, 1)
+        q.push_or_decrease(2, 2)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 50)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_matches_model_when_monotone(self, ops):
+        """Insert everything then drain: output sorted, min keys per item."""
+        q = BucketQueue(20, 50)
+        model: dict[int, int] = {}
+        for item, key in ops:
+            q.push_or_decrease(item, key)
+            if item not in model or key < model[item]:
+                model[item] = key
+        drained = []
+        while q:
+            drained.append(q.pop())
+        assert sorted(k for _, k in drained) == [k for _, k in drained]
+        assert dict(drained) == model
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 100_000))
+def test_dial_matches_heap_dijkstra(seed):
+    g = uniform_weights(gnp_digraph(12, 0.3, rng=seed), (0, 9), (1, 9), rng=seed + 1)
+    d1, p1 = dijkstra(g, 0)
+    d2, p2 = dial_dijkstra(g, 0)
+    assert np.array_equal(d1, d2)
+
+
+def test_dial_negative_weight_rejected():
+    g = uniform_weights(gnp_digraph(5, 0.5, rng=1), rng=2)
+    with pytest.raises(GraphError):
+        dial_dijkstra(g, 0, weight=-g.cost)
+
+
+def test_dial_falls_back_on_huge_keys():
+    g = uniform_weights(gnp_digraph(8, 0.5, rng=1), rng=2)
+    big = g.cost * 10_000_000
+    d1, _ = dial_dijkstra(g, 0, weight=big)
+    d2, _ = dijkstra(g, 0, weight=big)
+    assert np.array_equal(d1, d2)
+
+
+def test_dial_early_exit_target():
+    g = uniform_weights(gnp_digraph(10, 0.4, rng=3), rng=4)
+    d_full, _ = dijkstra(g, 0)
+    d_cut, _ = dial_dijkstra(g, 0, target=5)
+    assert d_cut[5] == d_full[5]

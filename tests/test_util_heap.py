@@ -1,0 +1,126 @@
+"""Unit and property tests for the addressable heap."""
+
+import heapq
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.heap import AddressableHeap
+
+
+def test_push_pop_orders_by_key():
+    h = AddressableHeap(10)
+    for item, key in [(3, 7), (1, 2), (4, 9), (0, 1)]:
+        h.push(item, key)
+    assert [h.pop() for _ in range(4)] == [(0, 1), (1, 2), (3, 7), (4, 9)]
+
+
+def test_pop_empty_raises():
+    h = AddressableHeap(1)
+    with pytest.raises(IndexError):
+        h.pop()
+
+
+def test_duplicate_push_raises():
+    h = AddressableHeap(2)
+    h.push(0, 5)
+    with pytest.raises(ValueError):
+        h.push(0, 6)
+
+
+def test_contains_and_len():
+    h = AddressableHeap(4)
+    assert not h and len(h) == 0
+    h.push(2, 1)
+    assert 2 in h and 3 not in h and len(h) == 1
+    h.pop()
+    assert 2 not in h and not h
+
+
+def test_decrease_key_moves_item_up():
+    h = AddressableHeap(5)
+    h.push(0, 10)
+    h.push(1, 20)
+    assert h.push_or_decrease(1, 5)
+    assert h.pop() == (1, 5)
+
+
+def test_push_or_decrease_ignores_larger_key():
+    h = AddressableHeap(5)
+    h.push(0, 10)
+    assert not h.push_or_decrease(0, 15)
+    assert h.key_of(0) == 10
+
+
+def test_push_or_decrease_inserts_missing():
+    h = AddressableHeap(5)
+    assert h.push_or_decrease(3, 4)
+    assert h.key_of(3) == 4
+
+
+def test_key_of_missing_raises():
+    h = AddressableHeap(2)
+    with pytest.raises(KeyError):
+        h.key_of(0)
+
+
+def test_tuple_keys_lexicographic():
+    h = AddressableHeap(3)
+    h.push(0, (1, 5))
+    h.push(1, (1, 2))
+    h.push(2, (0, 99))
+    assert [h.pop()[0] for _ in range(3)] == [2, 1, 0]
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+def test_heapsort_matches_stdlib(keys):
+    """Pushing distinct items and popping all must yield sorted keys."""
+    h = AddressableHeap(len(keys))
+    for i, k in enumerate(keys):
+        h.push(i, k)
+    popped = [h.pop()[1] for _ in range(len(keys))]
+    assert popped == sorted(keys)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 49), st.integers(-100, 100)),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_mixed_ops_match_reference(ops):
+    """push_or_decrease + pop interleaving agrees with a lazy heapq model."""
+    h = AddressableHeap(50)
+    model: dict[int, int] = {}
+    for item, key in ops:
+        if item in model:
+            if key < model[item]:
+                model[item] = key
+            h.push_or_decrease(item, key)
+        else:
+            model[item] = key
+            h.push_or_decrease(item, key)
+    # Drain both and compare multisets of (key) orderings.
+    expected = sorted(model.values())
+    got = []
+    while h:
+        item, key = h.pop()
+        assert model.pop(item) == key
+        got.append(key)
+    assert got == expected
+
+
+def test_heapq_parity_large_random():
+    import random
+
+    rnd = random.Random(42)
+    n = 2000
+    keys = [rnd.randint(0, 10**6) for _ in range(n)]
+    h = AddressableHeap(n)
+    ref = []
+    for i, k in enumerate(keys):
+        h.push(i, k)
+        heapq.heappush(ref, k)
+    for _ in range(n):
+        assert h.pop()[1] == heapq.heappop(ref)
