@@ -29,9 +29,34 @@ BASELINES = {
 }
 """Name registry used by the evaluation harness."""
 
+GUARANTEES = {
+    "minsum": "cost_anchor",
+    "lp_rounding_2_2": "lemma5",
+    "orda_sprintson_style": "budget",
+    "greedy_sequential": "none",
+    "ksp_filtering": "none",
+}
+"""What each baseline *promises*, as machine-readable tags the differential
+oracle (:mod:`repro.oracle.differential`) enforces:
+
+``cost_anchor``
+    Its cost lower-bounds every solution's; if it happens to meet the
+    budget it must equal the optimum. An ``InfeasibleInstanceError`` from
+    it is authoritative (structural).
+``lemma5``
+    ``delay/D + cost/OPT <= 2`` (some alpha in [0, 2] splits the bifactor).
+    Infeasibility claims are authoritative (the fractional relaxation is).
+``budget``
+    Returned solutions always respect the delay budget; infeasibility
+    claims are heuristic (not checked against the oracle).
+``none``
+    No promise beyond structural validity of whatever it returns.
+"""
+
 __all__ = [
     "BaselineResult",
     "BASELINES",
+    "GUARANTEES",
     "minsum_baseline",
     "lp_rounding_baseline",
     "orda_sprintson_baseline",

@@ -12,6 +12,11 @@ Commands
 ``generate``
     Generate a random instance and write it as JSON (for sharing or
     regression pinning).
+``fuzz``
+    Run the differential/metamorphic oracle (:mod:`repro.oracle`) under a
+    time budget: replay the regression corpus, stream adversarial
+    instances through every solver vs the exact MILP, shrink and persist
+    any reproducer, and emit a JSON report for CI.
 
 Examples
 --------
@@ -21,6 +26,7 @@ Examples
     python -m repro solve inst.json
     python -m repro solve inst.json --eps 0.25 --phase1 lagrangian
     python -m repro experiment e1
+    python -m repro fuzz --budget 30 --seed 0 --report fuzz.json
 """
 
 from __future__ import annotations
@@ -152,6 +158,52 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.oracle import SUBSTRATES, FuzzConfig, run_fuzz, write_report
+
+    substrates = None
+    if args.substrates:
+        substrates = [s.strip() for s in args.substrates.split(",") if s.strip()]
+        unknown = sorted(set(substrates) - set(SUBSTRATES))
+        if unknown:
+            print(f"unknown substrates {unknown}; choose from "
+                  f"{sorted(SUBSTRATES)}", file=sys.stderr)
+            return 2
+    corpus_dir = None if args.no_corpus else args.corpus
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_instances=args.max_instances,
+        substrates=substrates,
+        corpus_dir=corpus_dir,
+        replay_corpus=not args.no_replay,
+        shrink_failures=not args.no_shrink,
+    )
+    try:
+        report = run_fuzz(config)
+    except (ReproError, json.JSONDecodeError) as exc:
+        print(f"error: corrupt corpus entry under {corpus_dir}: {exc}",
+              file=sys.stderr)
+        return 2
+    d = report.as_dict()
+    if args.report:
+        write_report(report, args.report)
+    print(f"fuzz: {d['instances_checked']} instances "
+          f"({d['base_instances']} base, {d['transformed_instances']} transformed, "
+          f"{d['corpus_replayed']} corpus) in {d['elapsed_seconds']:.1f}s")
+    print(f"substrates: {', '.join(f'{k}={v}' for k, v in d['per_substrate'].items())}")
+    print(f"transforms: {', '.join(f'{k}={v}' for k, v in d['per_transform'].items())}")
+    if report.clean:
+        print("clean: no differential, metamorphic, or invariant failures")
+        return 0
+    print(f"FAILURES: {len(report.failures)}", file=sys.stderr)
+    for rec in report.failures:
+        where = f" [reproducer: {rec.reproducer}]" if rec.reproducer else ""
+        print(f"  {rec.kind}/{rec.solver} on {rec.label}: {rec.message}{where}",
+              file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="kRSP bifactor approximation (SPAA 2015)"
@@ -193,6 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--tightness", type=float, default=0.5)
     p_gen.add_argument("-o", "--output", default="instance.json")
     p_gen.set_defaults(func=cmd_generate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="run the differential/metamorphic oracle under a budget"
+    )
+    p_fuzz.add_argument("--budget", type=float, default=30.0,
+                        help="time budget in seconds (default 30)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="master seed; the instance stream is a pure "
+                             "function of it")
+    p_fuzz.add_argument("--max-instances", type=int, default=None,
+                        help="also stop after this many instances")
+    p_fuzz.add_argument("--substrates", default=None,
+                        help="comma-separated substrate subset (default all)")
+    p_fuzz.add_argument("--corpus", default="tests/corpus",
+                        help="regression corpus directory (replayed first; "
+                             "crashers land here)")
+    p_fuzz.add_argument("--no-corpus", action="store_true",
+                        help="disable the corpus entirely")
+    p_fuzz.add_argument("--no-replay", action="store_true",
+                        help="skip corpus replay (still saves crashers)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="save crashers unminimized")
+    p_fuzz.add_argument("--report", default=None,
+                        help="write a machine-readable JSON report here")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -70,6 +70,8 @@ def verify_solution(
     check_bounds: bool = True,
     use_milp: bool = False,
     milp_time_limit: float | None = 30.0,
+    claimed_cost: int | None = None,
+    claimed_delay: int | None = None,
 ) -> VerificationReport:
     """Audit a claimed kRSP solution from first principles.
 
@@ -81,6 +83,10 @@ def verify_solution(
         Solve the flow LP for a certified quality denominator.
     use_milp:
         Additionally compute the exact optimum (small instances only).
+    claimed_cost, claimed_delay:
+        Totals the solver *reported* alongside the paths. When given they
+        are cross-checked against the recomputed totals; a mismatch is a
+        tampered-totals issue (the paths and the report disagree).
 
     Never raises for a *bad solution* — problems land in
     ``report.issues``; raises only for malformed inputs (e.g. a graph
@@ -103,6 +109,14 @@ def verify_solution(
     feasible = delay <= delay_bound
     if not feasible:
         issues.append(f"delay {delay} exceeds budget {delay_bound}")
+    if claimed_cost is not None and claimed_cost != cost:
+        issues.append(
+            f"claimed cost {claimed_cost} does not match recomputed cost {cost}"
+        )
+    if claimed_delay is not None and claimed_delay != delay:
+        issues.append(
+            f"claimed delay {claimed_delay} does not match recomputed delay {delay}"
+        )
 
     lb = None
     ratio_ub = None

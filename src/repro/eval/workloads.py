@@ -22,6 +22,7 @@ from repro.graph.generators import (
     gnp_digraph,
     grid_digraph,
     layered_dag,
+    ring_of_cliques,
     scale_free_digraph,
     waxman_digraph,
 )
@@ -203,8 +204,30 @@ def scale_free_anticorrelated(
     yield from _emit(f"sf{n}", build, k, tightness, n_instances, seed)
 
 
+def ring_anticorrelated(
+    n_cliques: int = 4,
+    clique_size: int = 3,
+    k: int = 2,
+    tightness: float = 0.5,
+    n_instances: int = 10,
+    seed: int = 2021,
+) -> Iterator[WorkloadInstance]:
+    """ISP-like ring-of-cliques PoP topologies: disjoint routes must split
+    around the ring, so the two paths see very different delay profiles."""
+
+    def build(sub_seed: int):
+        g, s, t = ring_of_cliques(n_cliques, clique_size, rng=sub_seed, chords=1)
+        g = anticorrelated_weights(g, rng=sub_seed + 1)
+        return g, s, t
+
+    yield from _emit(
+        f"ring{n_cliques}x{clique_size}", build, k, tightness, n_instances, seed
+    )
+
+
 WORKLOADS = {
     "er_anticorrelated": er_anticorrelated,
+    "ring_anticorrelated": ring_anticorrelated,
     "scale_free_anticorrelated": scale_free_anticorrelated,
     "er_uniform": er_uniform,
     "waxman_euclidean": waxman_euclidean,

@@ -30,7 +30,14 @@ from repro.graph.validate import (
     is_path,
     is_simple_path,
 )
-from repro.graph.transform import SplitGraph, solve_krsp_vertex_disjoint, split_vertices
+from repro.graph.transform import (
+    SplitGraph,
+    graft_at_terminals,
+    inject_parallel_edges,
+    solve_krsp_vertex_disjoint,
+    split_vertices,
+    subdivide_edges,
+)
 from repro.graph.io import (
     graph_from_dict,
     graph_to_dict,
@@ -75,4 +82,7 @@ __all__ = [
     "SplitGraph",
     "split_vertices",
     "solve_krsp_vertex_disjoint",
+    "subdivide_edges",
+    "inject_parallel_edges",
+    "graft_at_terminals",
 ]

@@ -1,4 +1,4 @@
-"""Graph transformations: the vertex-disjoint reduction.
+"""Graph transformations: the vertex-disjoint reduction and graph surgery.
 
 Definition 2 asks for *edge*-disjoint paths. The standard node-splitting
 transformation reduces vertex-disjointness to it: every vertex ``v`` other
@@ -10,6 +10,12 @@ therefore internally vertex-disjoint when mapped back.
 This makes the whole kRSP stack (and its guarantees) available for the
 vertex-disjoint variant at zero algorithmic cost —
 :func:`solve_krsp_vertex_disjoint` is the packaged pipeline.
+
+The surgery helpers (:func:`subdivide_edges`, :func:`inject_parallel_edges`,
+:func:`graft_at_terminals`) are optimum-aware mutation operators shared by
+the oracle fuzzer (:mod:`repro.oracle`) and available for workload
+construction; each documents how it relates the mutated instance's optimum
+to the original's.
 """
 
 from __future__ import annotations
@@ -42,10 +48,20 @@ class SplitGraph:
         return [int(self.orig_eid[e]) for e in split_path if self.orig_eid[e] >= 0]
 
 
-def split_vertices(g: DiGraph, s: int, t: int) -> SplitGraph:
-    """Node-splitting transformation for internal vertex-disjointness."""
+def split_vertices(g: DiGraph, s: int, t: int, gates: int = 1) -> SplitGraph:
+    """Node-splitting transformation for internal vertex-disjointness.
+
+    ``gates`` controls how many parallel zero-weight gate edges each
+    non-terminal pair gets. ``gates=1`` (default) enforces
+    vertex-disjointness; ``gates >= k`` makes the split graph *equivalent*
+    to the original for k edge-disjoint routing (every path set maps both
+    ways with identical totals), which is what the metamorphic oracle
+    exploits.
+    """
     if not (0 <= s < g.n and 0 <= t < g.n) or s == t:
         raise GraphError("terminals must be distinct in-range vertices")
+    if gates < 1:
+        raise GraphError("gates must be >= 1")
 
     def v_in(v: int) -> int:
         return 2 * v
@@ -59,11 +75,12 @@ def split_vertices(g: DiGraph, s: int, t: int) -> SplitGraph:
     for v in range(g.n):
         if v in (s, t):
             continue
-        tails.append(v_in(v))
-        heads.append(v_out(v))
-        costs.append(0)
-        delays.append(0)
-        orig.append(-1)
+        for _ in range(gates):
+            tails.append(v_in(v))
+            heads.append(v_out(v))
+            costs.append(0)
+            delays.append(0)
+            orig.append(-1)
     # Original edges: out(u) -> in(v); terminals use their merged side
     # (s leaves from out(s)... s has no gate, so route from in==out: use
     # v_out for tails and v_in for heads consistently, with terminals
@@ -118,3 +135,134 @@ def solve_krsp_vertex_disjoint(
     sol = solve_krsp(split.graph, split.s, split.t, k, delay_bound, **solver_kwargs)
     sol.paths = [split.project_path(p) for p in sol.paths]
     return sol
+
+
+# ---------------------------------------------------------------------------
+# Graph surgery (mutation operators)
+# ---------------------------------------------------------------------------
+
+
+def subdivide_edges(g: DiGraph, edge_ids, rng=None) -> DiGraph:
+    """Subdivide each edge in ``edge_ids``: ``u -> v`` becomes
+    ``u -> x -> v`` through a fresh vertex ``x``, with the edge's cost and
+    delay split between the two halves.
+
+    The kRSP optimum is *unchanged* for any terminals and budget: paths
+    through a subdivided edge must use both halves (the midpoint has no
+    other edges), with identical totals, and two paths sharing a half would
+    have shared the original edge. The split point is drawn from ``rng``
+    (deterministic halves when ``rng is None``).
+    """
+    from repro._util.rng import as_rng
+
+    eids = sorted({int(e) for e in edge_ids})
+    if eids and not (0 <= eids[0] and eids[-1] < g.m):
+        raise GraphError("edge id out of range")
+    gen = as_rng(rng) if rng is not None else None
+    tails = list(g.tail)
+    heads = list(g.head)
+    costs = list(g.cost)
+    delays = list(g.delay)
+    n = g.n
+    for e in eids:
+        x = n
+        n += 1
+        c, d = int(g.cost[e]), int(g.delay[e])
+        if gen is None:
+            c1, d1 = c // 2, d // 2
+        else:
+            c1 = int(gen.integers(0, c + 1))
+            d1 = int(gen.integers(0, d + 1))
+        # First half replaces the original edge id; second half appends.
+        heads[e] = x
+        costs[e] = c1
+        delays[e] = d1
+        tails.append(x)
+        heads.append(int(g.head[e]))
+        costs.append(c - c1)
+        delays.append(d - d1)
+    return DiGraph(
+        n,
+        np.array(tails, dtype=np.int64),
+        np.array(heads, dtype=np.int64),
+        np.array(costs, dtype=np.int64),
+        np.array(delays, dtype=np.int64),
+    )
+
+
+def inject_parallel_edges(
+    g: DiGraph,
+    edge_ids,
+    cost_jitter: int = 0,
+    delay_jitter: int = 0,
+    rng=None,
+) -> DiGraph:
+    """Append a parallel copy of each edge in ``edge_ids``.
+
+    With zero jitter each copy is an exact duplicate, so the optimum can
+    only improve or stay equal (duplicates relax edge-disjointness
+    contention); with jitter the copies get weights perturbed by up to the
+    given amounts (clipped at 0) and no relation is promised — use as a
+    relation-free adversarial mutation.
+    """
+    from repro._util.rng import as_rng
+
+    eids = np.asarray(sorted({int(e) for e in edge_ids}), dtype=np.int64)
+    if len(eids) and (eids[0] < 0 or eids[-1] >= g.m):
+        raise GraphError("edge id out of range")
+    if len(eids) == 0:
+        return g.copy()
+    gen = as_rng(rng)
+    cost = g.cost[eids].copy()
+    delay = g.delay[eids].copy()
+    if cost_jitter:
+        cost = np.clip(cost + gen.integers(-cost_jitter, cost_jitter + 1, size=len(eids)), 0, None)
+    if delay_jitter:
+        delay = np.clip(delay + gen.integers(-delay_jitter, delay_jitter + 1, size=len(eids)), 0, None)
+    return DiGraph(
+        g.n,
+        np.concatenate([g.tail, g.tail[eids]]),
+        np.concatenate([g.head, g.head[eids]]),
+        np.concatenate([g.cost, cost.astype(np.int64)]),
+        np.concatenate([g.delay, delay.astype(np.int64)]),
+    )
+
+
+def graft_at_terminals(
+    g: DiGraph,
+    s: int,
+    t: int,
+    h: DiGraph,
+    hs: int,
+    ht: int,
+) -> DiGraph:
+    """Disjoint union of ``g`` and ``h`` identifying ``hs -> s`` and
+    ``ht -> t``.
+
+    Edge ids ``0..g.m-1`` keep their meaning; ``h``'s edges follow in
+    order. Grafting a trap gadget (e.g. the Figure-1 instance) across the
+    terminals of a random instance plants adversarial route structure
+    inside an otherwise benign topology — it only *adds* s-t routes, so
+    the optimum can only improve or stay equal for the same ``k``.
+    """
+    if not (0 <= hs < h.n and 0 <= ht < h.n) or hs == ht:
+        raise GraphError("gadget terminals must be distinct in-range vertices")
+
+    def remap(v: int) -> int:
+        if v == hs:
+            return s
+        if v == ht:
+            return t
+        # Pack h's non-terminal vertices after g's.
+        shift = g.n - (1 if hs < v else 0) - (1 if ht < v else 0)
+        return v + shift
+
+    h_tail = np.array([remap(int(v)) for v in h.tail], dtype=np.int64)
+    h_head = np.array([remap(int(v)) for v in h.head], dtype=np.int64)
+    return DiGraph(
+        g.n + h.n - 2,
+        np.concatenate([g.tail, h_tail]),
+        np.concatenate([g.head, h_head]),
+        np.concatenate([g.cost, h.cost]),
+        np.concatenate([g.delay, h.delay]),
+    )

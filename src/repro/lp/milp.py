@@ -61,6 +61,13 @@ def solve_krsp_milp(
         return ExactSolution(paths=[], cost=0, delay=0)
     if g.m == 0 or s == t:
         return None
+    # Structural infeasibility (max-flow < k) is common in adversarial
+    # streams and vastly cheaper to detect combinatorially than by handing
+    # HiGHS an infeasible MILP.
+    from repro.flow.maxflow import has_k_disjoint_paths
+
+    if not has_k_disjoint_paths(g, s, t, k):
+        return None
 
     A_eq = incidence_matrix(g)
     b_eq = np.zeros(g.n)

@@ -1,0 +1,80 @@
+"""Correctness oracle subsystem: differential fuzzing + metamorphic testing.
+
+The paper is theory-only, so the implementation's trustworthiness rests on
+being driven adversarially against its own ground-truth anchors (the exact
+MILP oracle and the independent auditor). This package industrializes that:
+
+* :mod:`repro.oracle.fuzzer` — seeded adversarial instance generation over
+  every substrate, plus relation-free mutations;
+* :mod:`repro.oracle.metamorphic` — instance rewrites with provable answer
+  relations;
+* :mod:`repro.oracle.differential` — every solver vs the exact oracle on
+  one instance, all outputs independently re-audited;
+* :mod:`repro.oracle.shrinker` — greedy reproducer minimization;
+* :mod:`repro.oracle.corpus` — the persistent regression corpus
+  (``tests/corpus/``);
+* :mod:`repro.oracle.driver` — the budgeted session behind ``repro fuzz``.
+
+Typical entry points::
+
+    from repro.oracle import FuzzConfig, run_fuzz
+    report = run_fuzz(FuzzConfig(seed=0, budget_seconds=30))
+    assert report.clean
+"""
+
+from repro.oracle.corpus import (
+    CorpusEntry,
+    entry_from_dict,
+    entry_to_dict,
+    load_corpus,
+    save_entry,
+)
+from repro.oracle.differential import DiffReport, Failure, run_differential
+from repro.oracle.driver import (
+    FailureRecord,
+    FuzzConfig,
+    FuzzReport,
+    run_fuzz,
+    write_report,
+)
+from repro.oracle.fuzzer import (
+    MUTATIONS,
+    SUBSTRATES,
+    instance_stream,
+    make_base_instance,
+)
+from repro.oracle.instances import (
+    OracleInstance,
+    oracle_instance_from_dict,
+    oracle_instance_to_dict,
+)
+from repro.oracle.metamorphic import TRANSFORMS, Metamorphosis, apply_transform
+from repro.oracle.shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "CorpusEntry",
+    "DiffReport",
+    "Failure",
+    "FailureRecord",
+    "FuzzConfig",
+    "FuzzReport",
+    "Metamorphosis",
+    "MUTATIONS",
+    "OracleInstance",
+    "SUBSTRATES",
+    "ShrinkResult",
+    "TRANSFORMS",
+    "apply_transform",
+    "entry_from_dict",
+    "entry_to_dict",
+    "instance_stream",
+    "load_corpus",
+    "make_base_instance",
+    "oracle_instance_from_dict",
+    "oracle_instance_to_dict",
+    "run_differential",
+    "run_fuzz",
+    "save_entry",
+    "shrink",
+    "write_report",
+]

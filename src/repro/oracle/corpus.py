@@ -1,0 +1,112 @@
+"""The regression corpus: every crasher, minimized, replayed forever.
+
+A corpus is a directory of one-instance JSON files. Seed entries are
+sentinels (the Figure-1 gadget and one instance per substrate); new
+entries are minimized reproducers written by the fuzz driver whenever a
+differential failure survives shrinking. `repro fuzz` and
+``tests/test_fuzz_corpus.py`` both replay the whole directory through the
+differential runner on every run, so a fixed bug can never silently
+regress.
+
+File schema (``corpus-v1``)::
+
+    {
+      "schema": 1,
+      "kind": "corpus-entry",
+      "instance": { <oracle-instance dict> },
+      "meta": {
+        "origin": "seed" | "fuzz",
+        "failure_kind": "",          # what it once broke ("" for seeds)
+        "failure_solver": "",
+        "note": "human-readable context",
+        "created": "YYYY-MM-DD"
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+from repro.oracle.instances import (
+    OracleInstance,
+    oracle_instance_from_dict,
+    oracle_instance_to_dict,
+)
+
+CORPUS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus instance plus its bookkeeping metadata."""
+
+    instance: OracleInstance
+    meta: dict[str, Any] = field(default_factory=dict)
+    path: Path | None = None
+
+    @property
+    def name(self) -> str:
+        return self.path.stem if self.path else (self.instance.label or "corpus-entry")
+
+
+def entry_to_dict(entry: CorpusEntry) -> dict[str, Any]:
+    """JSON-ready ``corpus-v1`` form of ``entry``."""
+    return {
+        "schema": CORPUS_SCHEMA_VERSION,
+        "kind": "corpus-entry",
+        "instance": oracle_instance_to_dict(entry.instance),
+        "meta": dict(entry.meta),
+    }
+
+
+def entry_from_dict(data: dict[str, Any], path: Path | None = None) -> CorpusEntry:
+    """Inverse of :func:`entry_to_dict`; rejects foreign payloads."""
+    if data.get("schema") != CORPUS_SCHEMA_VERSION or data.get("kind") != "corpus-entry":
+        raise ReproError(
+            f"not a corpus-v{CORPUS_SCHEMA_VERSION} entry: "
+            f"schema={data.get('schema')!r} kind={data.get('kind')!r}"
+        )
+    return CorpusEntry(
+        instance=oracle_instance_from_dict(data["instance"]),
+        meta=dict(data.get("meta", {})),
+        path=path,
+    )
+
+
+def load_corpus(directory: str | Path) -> Iterator[CorpusEntry]:
+    """Yield every corpus entry under ``directory``, sorted by filename
+    (deterministic replay order). A missing directory yields nothing."""
+    root = Path(directory)
+    if not root.is_dir():
+        return
+    for path in sorted(root.glob("*.json")):
+        yield entry_from_dict(json.loads(path.read_text()), path=path)
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_") or "entry"
+
+
+def save_entry(
+    directory: str | Path,
+    entry: CorpusEntry,
+    stem: str | None = None,
+) -> Path:
+    """Write ``entry`` under ``directory`` (created if absent), avoiding
+    filename collisions, and return the path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    base = _slug(stem or entry.name)
+    path = root / f"{base}.json"
+    i = 2
+    while path.exists():
+        path = root / f"{base}_{i}.json"
+        i += 1
+    path.write_text(json.dumps(entry_to_dict(entry), indent=1, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,319 @@
+"""Differential execution of every solver against the exact oracle.
+
+One instance goes through:
+
+* the exact MILP oracle (ground truth — feasibility and the optimal cost);
+* :func:`repro.core.solve_krsp` in pseudo-polynomial mode (Lemma 3:
+  ``delay <= D`` and ``cost <= 2 * OPT``), and periodically the Theorem-4
+  scaled mode (``delay <= (1+eps) D``, ``cost <= (2+eps) OPT``);
+* every registered baseline (:data:`repro.baselines.BASELINES`), each held
+  to exactly what :data:`repro.baselines.GUARANTEES` says it promises —
+  Lemma 5 (``delay/D + cost/OPT <= 2``) for LP rounding, the cost-anchor
+  laws for min-sum (cost lower-bounds everything; budget-feasible implies
+  optimal), budget compliance for Orda–Sprintson, and structural validity
+  for the no-guarantee heuristics.
+
+Every returned path set is re-audited from scratch by
+:func:`repro.core.verify.verify_solution`, including the claimed-totals
+cross-check. Anything that disagrees — feasibility verdicts, bound
+violations, invariant breaks, unexplained crashes — becomes a typed
+:class:`Failure` the driver can shrink and persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines import BASELINES, GUARANTEES
+from repro.core.krsp import solve_krsp
+from repro.core.verify import verify_solution
+from repro.errors import InfeasibleInstanceError, ReproError
+from repro.lp.milp import ExactSolution, solve_krsp_milp
+from repro.oracle.instances import OracleInstance, oracle_instance_to_dict
+
+DEFAULT_SCALED_EPS = 0.5
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One confirmed discrepancy on one instance.
+
+    ``kind`` is a stable machine-readable category (used by the shrinker to
+    decide whether a smaller instance still reproduces *this* bug):
+
+    ``feasibility``      solver and exact oracle disagree on solvability
+    ``bifactor``         a guaranteed bound (Lemma 3 / 5, Theorem 4) broke
+    ``invariant``        structural audit or claimed-totals mismatch
+    ``beats_optimum``    a feasible solution cheaper than the proven optimum
+    ``metamorphic``      a transform's answer relation broke
+    ``crash``            unexpected exception out of a solver
+    """
+
+    kind: str
+    solver: str
+    message: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "solver": self.solver, "message": self.message}
+
+
+@dataclass
+class DiffReport:
+    """All findings from one differential run over one instance."""
+
+    instance: OracleInstance
+    opt_cost: int | None = None
+    solvers_run: list[str] = field(default_factory=list)
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "instance": oracle_instance_to_dict(self.instance),
+            "opt_cost": self.opt_cost,
+            "solvers_run": list(self.solvers_run),
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+def _audit_paths(
+    inst: OracleInstance,
+    solver: str,
+    paths: list[list[int]],
+    claimed_cost: int | None,
+    claimed_delay: int | None,
+    failures: list[Failure],
+    require_budget: bool,
+) -> tuple[int, int] | None:
+    """Independent structural audit; returns recomputed ``(cost, delay)``
+    or ``None`` when the paths are not even structurally valid."""
+    report = verify_solution(
+        inst.graph,
+        inst.s,
+        inst.t,
+        inst.k,
+        inst.delay_bound,
+        paths,
+        check_bounds=False,
+        claimed_cost=claimed_cost,
+        claimed_delay=claimed_delay,
+    )
+    if not report.valid:
+        failures.append(Failure("invariant", solver, "; ".join(report.issues)))
+        return None
+    for issue in report.issues:
+        if issue.startswith("claimed"):
+            failures.append(Failure("invariant", solver, issue))
+        elif issue.startswith("delay") and require_budget:
+            failures.append(Failure("bifactor", solver, issue))
+    assert report.cost is not None and report.delay is not None
+    return report.cost, report.delay
+
+
+def run_differential(
+    inst: OracleInstance,
+    exact: ExactSolution | None | str = "compute",
+    milp_time_limit: float | None = 30.0,
+    run_scaled: bool = False,
+    scaled_eps: float = DEFAULT_SCALED_EPS,
+) -> DiffReport:
+    """Differentially check one instance against the exact oracle.
+
+    ``exact`` may be a precomputed :class:`ExactSolution`, ``None`` (known
+    infeasible), or the sentinel ``"compute"`` to solve it here.
+    """
+    report = DiffReport(instance=inst)
+    g, s, t, k, D = inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+
+    if isinstance(exact, str):
+        try:
+            exact = solve_krsp_milp(g, s, t, k, D, time_limit=milp_time_limit)
+        except ReproError as exc:
+            report.failures.append(Failure("crash", "milp", f"{type(exc).__name__}: {exc}"))
+            return report
+    report.opt_cost = None if exact is None else exact.cost
+    opt = report.opt_cost
+
+    # -- the paper's algorithm, pseudo-polynomial (1, 2) mode ---------------
+    report.solvers_run.append("solve_krsp")
+    try:
+        sol = solve_krsp(g, s, t, k, D)
+    except InfeasibleInstanceError:
+        sol = None
+        if exact is not None:
+            report.failures.append(
+                Failure(
+                    "feasibility",
+                    "solve_krsp",
+                    f"solver says infeasible; exact optimum is {exact.cost}",
+                )
+            )
+    except ReproError as exc:
+        sol = None
+        report.failures.append(
+            Failure("crash", "solve_krsp", f"{type(exc).__name__}: {exc}")
+        )
+    if sol is not None:
+        if exact is None:
+            report.failures.append(
+                Failure(
+                    "feasibility",
+                    "solve_krsp",
+                    f"solver returned cost {sol.cost} on an exactly-infeasible instance",
+                )
+            )
+        else:
+            totals = _audit_paths(
+                inst, "solve_krsp", sol.paths, sol.cost, sol.delay,
+                report.failures, require_budget=True,
+            )
+            if totals is not None:
+                cost, delay = totals
+                if cost > 2 * exact.cost:
+                    report.failures.append(
+                        Failure(
+                            "bifactor",
+                            "solve_krsp",
+                            f"cost {cost} exceeds 2 * OPT = {2 * exact.cost} (Lemma 3)",
+                        )
+                    )
+                if delay <= D and cost < exact.cost:
+                    report.failures.append(
+                        Failure(
+                            "beats_optimum",
+                            "solve_krsp",
+                            f"feasible cost {cost} beats the proven optimum {exact.cost}",
+                        )
+                    )
+                if sol.cost_lower_bound is not None and float(sol.cost_lower_bound) > exact.cost + 1e-9:
+                    report.failures.append(
+                        Failure(
+                            "invariant",
+                            "solve_krsp",
+                            f"certified lower bound {float(sol.cost_lower_bound):.6f} "
+                            f"exceeds the true optimum {exact.cost}",
+                        )
+                    )
+
+    # -- Theorem-4 scaled mode (periodically; it is the slow path) ----------
+    if run_scaled and exact is not None:
+        report.solvers_run.append("solve_krsp_scaled")
+        try:
+            ssol = solve_krsp(g, s, t, k, D, eps=scaled_eps)
+        except InfeasibleInstanceError:
+            ssol = None
+            report.failures.append(
+                Failure(
+                    "feasibility",
+                    "solve_krsp_scaled",
+                    f"scaled solver says infeasible; exact optimum is {exact.cost}",
+                )
+            )
+        except ReproError as exc:
+            ssol = None
+            report.failures.append(
+                Failure("crash", "solve_krsp_scaled", f"{type(exc).__name__}: {exc}")
+            )
+        if ssol is not None:
+            totals = _audit_paths(
+                inst, "solve_krsp_scaled", ssol.paths, ssol.cost, ssol.delay,
+                report.failures, require_budget=False,
+            )
+            if totals is not None:
+                cost, delay = totals
+                if delay > (1 + scaled_eps) * D + 1e-9:
+                    report.failures.append(
+                        Failure(
+                            "bifactor",
+                            "solve_krsp_scaled",
+                            f"delay {delay} exceeds (1 + {scaled_eps}) * D = "
+                            f"{(1 + scaled_eps) * D} (Theorem 4)",
+                        )
+                    )
+                if cost > (2 + scaled_eps) * exact.cost + 1e-9:
+                    report.failures.append(
+                        Failure(
+                            "bifactor",
+                            "solve_krsp_scaled",
+                            f"cost {cost} exceeds (2 + {scaled_eps}) * OPT = "
+                            f"{(2 + scaled_eps) * exact.cost} (Theorem 4)",
+                        )
+                    )
+
+    # -- the baseline cast, each held to its registered guarantee -----------
+    for name, baseline in BASELINES.items():
+        guarantee = GUARANTEES[name]
+        report.solvers_run.append(name)
+        try:
+            res = baseline(g, s, t, k, D)
+        except InfeasibleInstanceError as exc:
+            # Only the baselines whose infeasibility verdict is exact get
+            # cross-examined; heuristics may legitimately give up.
+            if exact is not None and guarantee in ("cost_anchor", "lemma5"):
+                report.failures.append(
+                    Failure(
+                        "feasibility",
+                        name,
+                        f"baseline says infeasible ({exc}); exact optimum is "
+                        f"{exact.cost}",
+                    )
+                )
+            continue
+        except ReproError as exc:
+            report.failures.append(Failure("crash", name, f"{type(exc).__name__}: {exc}"))
+            continue
+        totals = _audit_paths(
+            inst, name, res.paths, res.cost, res.delay,
+            report.failures, require_budget=(guarantee == "budget"),
+        )
+        if totals is None:
+            continue
+        cost, delay = totals
+        if exact is None:
+            if delay <= D:
+                # k disjoint paths within budget are a feasibility witness —
+                # this contradicts the MILP's infeasibility verdict.
+                report.failures.append(
+                    Failure(
+                        "feasibility",
+                        name,
+                        f"budget-feasible solution (cost {cost}, delay {delay}) "
+                        f"on an exactly-infeasible instance",
+                    )
+                )
+            continue
+        if delay <= D and cost < exact.cost:
+            report.failures.append(
+                Failure(
+                    "beats_optimum",
+                    name,
+                    f"feasible cost {cost} beats the proven optimum {exact.cost}",
+                )
+            )
+        if guarantee == "lemma5" and exact.cost > 0 and D > 0:
+            if delay / D + cost / exact.cost > 2.0 + 1e-9:
+                report.failures.append(
+                    Failure(
+                        "bifactor",
+                        name,
+                        f"delay/D + cost/OPT = {delay / D + cost / exact.cost:.6f} "
+                        f"> 2 (Lemma 5)",
+                    )
+                )
+        elif guarantee == "cost_anchor" and cost > exact.cost:
+            # (Budget-feasible min-sum cheaper than OPT is caught by the
+            # universal beats_optimum check; together they force equality.)
+            report.failures.append(
+                Failure(
+                    "invariant",
+                    name,
+                    f"delay-oblivious min-sum cost {cost} exceeds the "
+                    f"delay-constrained optimum {exact.cost}",
+                )
+            )
+
+    return report

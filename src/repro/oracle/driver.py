@@ -1,0 +1,271 @@
+"""The fuzz session driver: budgets, corpus replay, shrinking, reporting.
+
+:func:`run_fuzz` is the engine behind ``repro fuzz``:
+
+1. **replay** every corpus entry through the differential runner (a
+   regression must fail the run);
+2. **stream** seeded instances from the fuzzer, round-robin over
+   substrates, a deterministic share mutated;
+3. for each base instance, solve the exact oracle once, run the
+   differential checks, then apply rotating **metamorphic transforms** and
+   check both the answer relations and the transformed instances;
+4. on any failure, **shrink** the reproducer and persist it into the
+   corpus directory;
+5. emit a machine-readable **JSON report** (instances, substrate/transform
+   coverage, failures, reproducer paths) for CI.
+
+The stream is a pure function of the seed; the time budget only decides
+how far down the stream the session gets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro._util.rng import as_rng
+from repro.errors import ReproError
+from repro.lp.milp import solve_krsp_milp
+from repro.oracle.corpus import CorpusEntry, load_corpus, save_entry
+from repro.oracle.differential import DiffReport, Failure, run_differential
+from repro.oracle.fuzzer import SUBSTRATES, instance_stream
+from repro.oracle.instances import OracleInstance
+from repro.oracle.metamorphic import TRANSFORMS, apply_transform
+from repro.oracle.shrinker import shrink
+
+FUZZ_REPORT_SCHEMA = 1
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzz session (all deterministic except the time
+    budget's cut-off point)."""
+
+    seed: int = 0
+    budget_seconds: float = 30.0
+    max_instances: int | None = None
+    substrates: list[str] | None = None
+    transforms_per_instance: int = 2
+    scaled_every: int = 7  # run the Theorem-4 mode on every Nth base
+    corpus_dir: str | Path | None = None
+    replay_corpus: bool = True
+    shrink_failures: bool = True
+    shrink_evaluations: int = 200
+    milp_time_limit: float = 20.0
+    save_crashers: bool = True
+    max_saved_crashers: int = 20
+
+
+@dataclass
+class FailureRecord:
+    """One failure as it lands in the report."""
+
+    kind: str
+    solver: str
+    message: str
+    label: str
+    origin: str  # "corpus" | "fuzz"
+    reproducer: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "solver": self.solver,
+            "message": self.message,
+            "instance": self.label,
+            "origin": self.origin,
+            "reproducer": self.reproducer,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything a CI job needs to gate on."""
+
+    config: FuzzConfig
+    elapsed_seconds: float = 0.0
+    instances_checked: int = 0
+    base_instances: int = 0
+    transformed_instances: int = 0
+    corpus_replayed: int = 0
+    per_substrate: dict[str, int] = field(default_factory=dict)
+    per_transform: dict[str, int] = field(default_factory=dict)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": FUZZ_REPORT_SCHEMA,
+            "seed": self.config.seed,
+            "budget_seconds": self.config.budget_seconds,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "instances_checked": self.instances_checked,
+            "base_instances": self.base_instances,
+            "transformed_instances": self.transformed_instances,
+            "corpus_replayed": self.corpus_replayed,
+            "per_substrate": dict(sorted(self.per_substrate.items())),
+            "per_transform": dict(sorted(self.per_transform.items())),
+            "failures": [f.as_dict() for f in self.failures],
+            "clean": self.clean,
+        }
+
+
+class _Session:
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+        self.report = FuzzReport(config=config)
+        self.saved = 0
+
+    def _persist(self, inst: OracleInstance, failure: Failure, origin: str) -> str | None:
+        cfg = self.config
+        if failure.kind in ("bifactor", "invariant", "beats_optimum", "feasibility") and cfg.shrink_failures:
+            result = shrink(
+                inst,
+                failure.kind,
+                failure.solver,
+                max_evaluations=cfg.shrink_evaluations,
+                milp_time_limit=cfg.milp_time_limit,
+            )
+            inst = result.instance
+        if not (cfg.save_crashers and cfg.corpus_dir and self.saved < cfg.max_saved_crashers):
+            return None
+        entry = CorpusEntry(
+            instance=inst,
+            meta={
+                "origin": "fuzz",
+                "failure_kind": failure.kind,
+                "failure_solver": failure.solver,
+                "note": failure.message,
+            },
+        )
+        stem = f"crash_{failure.kind}_{failure.solver}_{inst.seed}"
+        path = save_entry(cfg.corpus_dir, entry, stem=stem)
+        self.saved += 1
+        return str(path)
+
+    def record(self, diff: DiffReport, origin: str, extra_failures: list[Failure] = ()) -> None:
+        for failure in list(diff.failures) + list(extra_failures):
+            reproducer = None
+            if origin == "fuzz":
+                reproducer = self._persist(diff.instance, failure, origin)
+            self.report.failures.append(
+                FailureRecord(
+                    kind=failure.kind,
+                    solver=failure.solver,
+                    message=failure.message,
+                    label=diff.instance.label or diff.instance.substrate,
+                    origin=origin,
+                    reproducer=reproducer,
+                )
+            )
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run one budgeted fuzz session; see the module docstring."""
+    session = _Session(config)
+    report = session.report
+    start = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if time.monotonic() - start >= config.budget_seconds:
+            return True
+        return (
+            config.max_instances is not None
+            and report.instances_checked >= config.max_instances
+        )
+
+    # -- phase 1: corpus replay --------------------------------------------
+    if config.replay_corpus and config.corpus_dir:
+        for entry in load_corpus(config.corpus_dir):
+            diff = run_differential(
+                entry.instance, milp_time_limit=config.milp_time_limit
+            )
+            report.corpus_replayed += 1
+            report.instances_checked += 1
+            session.record(diff, origin="corpus")
+
+    # -- phase 2: the fuzz stream ------------------------------------------
+    substrate_names = list(config.substrates or SUBSTRATES)
+    transform_names = list(TRANSFORMS)
+    stream = instance_stream(config.seed, substrates=substrate_names)
+    master = as_rng(config.seed ^ 0xFE1D)
+    iteration = 0
+    while not out_of_budget():
+        base = next(stream)
+        try:
+            base_exact = solve_krsp_milp(
+                base.graph, base.s, base.t, base.k, base.delay_bound,
+                time_limit=config.milp_time_limit,
+            )
+        except ReproError as exc:
+            diff = DiffReport(instance=base)
+            diff.failures.append(Failure("crash", "milp", f"{type(exc).__name__}: {exc}"))
+            session.record(diff, origin="fuzz")
+            report.instances_checked += 1
+            report.base_instances += 1
+            iteration += 1
+            continue
+
+        run_scaled = iteration % config.scaled_every == 0
+        diff = run_differential(
+            base,
+            exact=base_exact,
+            milp_time_limit=config.milp_time_limit,
+            run_scaled=run_scaled,
+        )
+        report.instances_checked += 1
+        report.base_instances += 1
+        report.per_substrate[base.substrate] = report.per_substrate.get(base.substrate, 0) + 1
+        session.record(diff, origin="fuzz")
+
+        for j in range(config.transforms_per_instance):
+            if out_of_budget():
+                break
+            name = transform_names[(iteration * config.transforms_per_instance + j) % len(transform_names)]
+            meta = apply_transform(
+                name, base, int(master.integers(1 << 31)), base_exact
+            )
+            if meta is None:
+                continue
+            tinst = meta.instance
+            try:
+                trans_exact = solve_krsp_milp(
+                    tinst.graph, tinst.s, tinst.t, tinst.k, tinst.delay_bound,
+                    time_limit=config.milp_time_limit,
+                )
+            except ReproError as exc:
+                tdiff = DiffReport(instance=tinst)
+                tdiff.failures.append(
+                    Failure("crash", "milp", f"{type(exc).__name__}: {exc}")
+                )
+                session.record(tdiff, origin="fuzz")
+                report.instances_checked += 1
+                report.transformed_instances += 1
+                continue
+            relation_failures = [
+                Failure("metamorphic", "milp", msg)
+                for msg in meta.check(base_exact, trans_exact)
+            ]
+            tdiff = run_differential(
+                tinst, exact=trans_exact, milp_time_limit=config.milp_time_limit
+            )
+            report.instances_checked += 1
+            report.transformed_instances += 1
+            report.per_transform[name] = report.per_transform.get(name, 0) + 1
+            session.record(tdiff, origin="fuzz", extra_failures=relation_failures)
+
+        iteration += 1
+
+    report.elapsed_seconds = time.monotonic() - start
+    return report
+
+
+def write_report(report: FuzzReport, path: str | Path) -> None:
+    """Serialize ``report`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(report.as_dict(), indent=1) + "\n")

@@ -1,0 +1,262 @@
+"""Seeded adversarial instance generation for the differential oracle.
+
+Two layers:
+
+* **Substrates** — every random family in :mod:`repro.graph.generators`
+  (plus the paper's Figure-1 trap gadget) wrapped as seeded builders that
+  attach a weight model and a delay budget. Budgets are drawn from the
+  *interesting band* (:func:`repro.eval.workloads.interesting_delay_bound`)
+  most of the time, but a deterministic fraction of instances is pushed to
+  the feasibility boundary (``D`` = minimum achievable delay, or just below
+  it, or ``k`` beyond the edge connectivity) so the feasibility-agreement
+  checks get exercised, not just the bound checks.
+* **Mutations** — relation-free adversarial surgery from
+  :mod:`repro.graph.transform`: edge subdivision with random weight splits,
+  parallel-edge injection with jittered weights, budget tightening to the
+  exact minimum, and Figure-1 gadget grafting across the terminals.
+
+Everything is a pure function of the seed: the same seed always yields the
+same instance stream, which is what makes crashers replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro._util.rng import as_rng
+from repro.eval.workloads import interesting_delay_bound
+from repro.flow.mincost import min_cost_k_flow
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnp_digraph,
+    grid_digraph,
+    layered_dag,
+    parallel_chains,
+    ring_of_cliques,
+    scale_free_digraph,
+    waxman_digraph,
+)
+from repro.graph.transform import (
+    graft_at_terminals,
+    inject_parallel_edges,
+    subdivide_edges,
+)
+from repro.graph.weights import (
+    anticorrelated_weights,
+    correlated_weights,
+    euclidean_weights,
+    uniform_weights,
+)
+from repro.oracle.instances import OracleInstance
+
+# ---------------------------------------------------------------------------
+# Substrates
+# ---------------------------------------------------------------------------
+
+
+def _weighted(g: DiGraph, gen: np.random.Generator) -> DiGraph:
+    """Attach one of the position-free weight models, rotated by the rng."""
+    model = int(gen.integers(3))
+    if model == 0:
+        return uniform_weights(g, rng=gen)
+    if model == 1:
+        return anticorrelated_weights(g, rng=gen)
+    return correlated_weights(g, rng=gen)
+
+
+def _sub_er(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    n = int(gen.integers(8, 13))
+    p = 0.3 + 0.2 * float(gen.random())
+    g = _weighted(gnp_digraph(n, p, rng=gen), gen)
+    return g, 0, n - 1
+
+
+def _sub_grid(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    rows = int(gen.integers(3, 5))
+    cols = int(gen.integers(3, 5))
+    g, s, t = grid_digraph(rows, cols)
+    return _weighted(g, gen), s, t
+
+
+def _sub_layered(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    layers = int(gen.integers(3, 5))
+    width = int(gen.integers(2, 4))
+    g, s, t = layered_dag(layers, width, rng=gen)
+    return _weighted(g, gen), s, t
+
+
+def _sub_ring(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    n_cliques = int(gen.integers(3, 5))
+    size = int(gen.integers(2, 4))
+    g, s, t = ring_of_cliques(n_cliques, size, rng=gen, chords=int(gen.integers(3)))
+    return _weighted(g, gen), s, t
+
+
+def _sub_waxman(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    n = int(gen.integers(9, 13))
+    g, pos = waxman_digraph(n, alpha=0.8, beta=0.5, rng=gen)
+    g = euclidean_weights(g, pos, delay_scale=20, cost_scale=20, rng=gen)
+    return g, 0, n - 1
+
+
+def _sub_scale_free(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    n = int(gen.integers(10, 15))
+    g = _weighted(scale_free_digraph(n, 2, rng=gen), gen)
+    return g, n - 1, 0
+
+
+def _sub_chains(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    k = int(gen.integers(2, 4))
+    length = int(gen.integers(2, 5))
+    g, s, t = parallel_chains(k, length)
+    return _weighted(g, gen), s, t
+
+
+def _sub_figure1(gen: np.random.Generator) -> tuple[DiGraph, int, int]:
+    from repro.eval.experiments import figure1_instance
+
+    D = int(gen.integers(3, 41))
+    c_opt = int(gen.integers(4, 16))
+    g, ids = figure1_instance(D, c_opt)
+    return g, ids["s"], ids["t"]
+
+
+SUBSTRATES: dict[str, Callable[[np.random.Generator], tuple[DiGraph, int, int]]] = {
+    "er": _sub_er,
+    "grid": _sub_grid,
+    "layered": _sub_layered,
+    "ring": _sub_ring,
+    "waxman": _sub_waxman,
+    "scale_free": _sub_scale_free,
+    "chains": _sub_chains,
+    "figure1": _sub_figure1,
+}
+"""Name -> seeded builder returning ``(weighted graph, s, t)``."""
+
+
+# ---------------------------------------------------------------------------
+# Mutations
+# ---------------------------------------------------------------------------
+
+
+def _mut_subdivide(inst: OracleInstance, gen: np.random.Generator) -> OracleInstance:
+    m = inst.graph.m
+    if m == 0:
+        return inst
+    count = max(1, m // 4)
+    eids = gen.choice(m, size=min(count, m), replace=False)
+    g2 = subdivide_edges(inst.graph, eids, rng=gen)
+    return inst.derive(graph=g2, mutation="subdivide")
+
+
+def _mut_parallel(inst: OracleInstance, gen: np.random.Generator) -> OracleInstance:
+    m = inst.graph.m
+    if m == 0:
+        return inst
+    count = max(1, m // 5)
+    eids = gen.choice(m, size=min(count, m), replace=False)
+    g2 = inject_parallel_edges(inst.graph, eids, cost_jitter=3, delay_jitter=3, rng=gen)
+    return inst.derive(graph=g2, mutation="parallel")
+
+
+def _mut_tighten(inst: OracleInstance, gen: np.random.Generator) -> OracleInstance:
+    """Pull the budget down to the exact minimum achievable total delay —
+    the tightest still-feasible instance this topology admits."""
+    flow = min_cost_k_flow(inst.graph, inst.s, inst.t, inst.k, weight=inst.graph.delay)
+    if flow is None or flow.weight >= inst.delay_bound:
+        return inst
+    return inst.derive(delay_bound=int(flow.weight), mutation="tighten")
+
+
+def _mut_graft(inst: OracleInstance, gen: np.random.Generator) -> OracleInstance:
+    from repro.eval.experiments import figure1_instance
+
+    D = max(2, min(int(inst.delay_bound), 40))
+    gadget, ids = figure1_instance(D, c_opt=int(gen.integers(4, 16)))
+    g2 = graft_at_terminals(inst.graph, inst.s, inst.t, gadget, ids["s"], ids["t"])
+    return inst.derive(graph=g2, mutation="graft_figure1")
+
+
+MUTATIONS: dict[str, Callable[[OracleInstance, np.random.Generator], OracleInstance]] = {
+    "subdivide": _mut_subdivide,
+    "parallel": _mut_parallel,
+    "tighten": _mut_tighten,
+    "graft_figure1": _mut_graft,
+}
+"""Name -> relation-free adversarial mutation operator."""
+
+
+# ---------------------------------------------------------------------------
+# The stream
+# ---------------------------------------------------------------------------
+
+
+def make_base_instance(
+    substrate: str,
+    seed: int,
+    boundary_fraction: float = 0.15,
+) -> OracleInstance | None:
+    """Build one seeded instance of ``substrate``, or ``None`` when the
+    draw has no usable budget band.
+
+    A ``boundary_fraction`` share of draws is deliberately placed at (or
+    just past) the feasibility boundary instead of inside the interesting
+    band.
+    """
+    gen = as_rng(seed)
+    g, s, t = SUBSTRATES[substrate](gen)
+    k = int(gen.choice([1, 2, 2, 3])) if substrate != "figure1" else 2
+    boundary = float(gen.random()) < boundary_fraction
+
+    flow = min_cost_k_flow(g, s, t, k, weight=g.delay)
+    if flow is None:
+        if not boundary:
+            return None
+        # Structurally infeasible on purpose: every solver must agree.
+        bound = max(1, int(g.total_delay()))
+    elif boundary:
+        d_min = int(flow.weight)
+        # Half the boundary draws sit exactly at the minimum (feasible,
+        # maximally tight), half just below it (delay-infeasible).
+        bound = d_min if int(gen.integers(2)) == 0 else max(0, d_min - 1)
+    else:
+        tightness = 0.25 + 0.5 * float(gen.random())
+        band = interesting_delay_bound(g, s, t, k, tightness=tightness)
+        if band is None:
+            return None
+        bound = band
+    return OracleInstance(
+        graph=g, s=s, t=t, k=k, delay_bound=bound, substrate=substrate, seed=seed
+    ).derive()
+
+
+def instance_stream(
+    seed: int,
+    substrates: list[str] | None = None,
+    mutation_fraction: float = 0.4,
+) -> Iterator[OracleInstance]:
+    """Endless deterministic stream of (possibly mutated) base instances.
+
+    Substrates round-robin; a ``mutation_fraction`` share of instances gets
+    one rotating mutation applied on top. The caller imposes the stopping
+    budget.
+    """
+    names = list(substrates or SUBSTRATES)
+    for name in names:
+        if name not in SUBSTRATES:
+            raise KeyError(f"unknown substrate {name!r}; choose from {sorted(SUBSTRATES)}")
+    mut_names = list(MUTATIONS)
+    master = as_rng(seed)
+    i = 0
+    while True:
+        sub_seed = int(master.integers(1 << 31))
+        inst = make_base_instance(names[i % len(names)], sub_seed)
+        if inst is not None:
+            gen = as_rng(sub_seed ^ 0x5EED)
+            if float(gen.random()) < mutation_fraction:
+                mut = MUTATIONS[mut_names[i % len(mut_names)]]
+                inst = mut(inst, gen)
+            yield inst
+        i += 1

@@ -1,0 +1,86 @@
+"""Provenance-carrying kRSP instances for the oracle subsystem.
+
+:class:`OracleInstance` is the unit of work every oracle component passes
+around: a full kRSP problem plus where it came from (substrate, seed,
+mutation, metamorphic transform). Provenance is what turns a red fuzz run
+into a reproducible bug report — serialize with :func:`oracle_instance_to_dict`
+and the exact failing instance replays forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import graph_from_dict, graph_to_dict
+
+ORACLE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OracleInstance:
+    """One kRSP problem with full generation provenance.
+
+    ``label`` is a short human-readable identity (substrate plus applied
+    operators); ``seed`` the substrate seed; ``substrate`` / ``mutation`` /
+    ``transform`` the pipeline stages that produced it (empty string when a
+    stage did not apply).
+    """
+
+    graph: DiGraph
+    s: int
+    t: int
+    k: int
+    delay_bound: int
+    label: str = ""
+    substrate: str = ""
+    seed: int = 0
+    mutation: str = ""
+    transform: str = ""
+
+    def derive(self, **changes: Any) -> "OracleInstance":
+        """A copy with ``changes`` applied and the label re-derived."""
+        inst = replace(self, **changes)
+        parts = [inst.substrate or "instance"]
+        if inst.mutation:
+            parts.append(f"+{inst.mutation}")
+        if inst.transform:
+            parts.append(f"~{inst.transform}")
+        return replace(inst, label="".join(parts))
+
+
+def oracle_instance_to_dict(inst: OracleInstance) -> dict[str, Any]:
+    """JSON-ready form (graph schema of :mod:`repro.graph.io` plus
+    provenance)."""
+    return {
+        "schema": ORACLE_SCHEMA_VERSION,
+        "graph": graph_to_dict(inst.graph),
+        "s": int(inst.s),
+        "t": int(inst.t),
+        "k": int(inst.k),
+        "delay_bound": int(inst.delay_bound),
+        "label": inst.label,
+        "substrate": inst.substrate,
+        "seed": int(inst.seed),
+        "mutation": inst.mutation,
+        "transform": inst.transform,
+    }
+
+
+def oracle_instance_from_dict(data: dict[str, Any]) -> OracleInstance:
+    """Inverse of :func:`oracle_instance_to_dict` (tolerates missing
+    provenance fields so plain :func:`repro.graph.io.instance_to_dict`
+    payloads load too)."""
+    return OracleInstance(
+        graph=graph_from_dict(data["graph"]),
+        s=int(data["s"]),
+        t=int(data["t"]),
+        k=int(data["k"]),
+        delay_bound=int(data["delay_bound"]),
+        label=str(data.get("label", "")),
+        substrate=str(data.get("substrate", "")),
+        seed=int(data.get("seed", 0)),
+        mutation=str(data.get("mutation", "")),
+        transform=str(data.get("transform", "")),
+    )

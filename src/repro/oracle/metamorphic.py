@@ -1,0 +1,271 @@
+"""Metamorphic transforms: instance rewrites with *provable* answer relations.
+
+A metamorphic transform maps a kRSP instance to a new instance whose exact
+optimum relates to the original's in a way a theorem guarantees — no ground
+truth needed beyond the relation itself. The differential runner solves both
+sides with the exact MILP oracle and fails on any relation breach; each
+transformed instance is then *also* pushed through the full per-instance
+differential checks, so one base instance buys two adversarial probes.
+
+Relations implemented (``opt`` denotes the exact optimal cost, ``None``
+meaning infeasible):
+
+==================  =====================================================
+transform            relation
+==================  =====================================================
+scale_cost(f)        feasibility unchanged; ``opt' == f * opt``
+scale_delay(f)       delays and ``D`` scale together; ``opt' == opt``
+subdivide            every edge split in two; ``opt' == opt``
+split_vertices       k-gate node splitting; ``opt' == opt``
+relax_budget         ``D' > D``; feasible stays feasible, ``opt' <= opt``
+tighten_budget       ``D' < D``; if feasible', then feasible and
+                     ``opt' >= opt``
+swap_cost_delay      dual instance with budget = ``opt``; feasible and
+                     ``opt' <=`` the primal optimal solution's delay
+add_junk             unreachable component appended; ``opt' == opt``
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._util.rng import as_rng
+from repro.graph.digraph import DiGraph
+from repro.graph.transform import split_vertices, subdivide_edges
+from repro.lp.milp import ExactSolution
+from repro.oracle.instances import OracleInstance
+
+
+@dataclass(frozen=True)
+class Metamorphosis:
+    """A transformed instance plus the relation its optimum must satisfy.
+
+    ``check(base_opt, trans_opt)`` receives the exact solutions of both
+    sides (``None`` = infeasible) and returns human-readable relation
+    violations (empty when the relation holds).
+    """
+
+    name: str
+    instance: OracleInstance
+    check: Callable[[ExactSolution | None, ExactSolution | None], list[str]]
+
+
+def _feasibility_must_match(name: str, base, trans) -> list[str]:
+    if (base is None) != (trans is None):
+        b = "infeasible" if base is None else "feasible"
+        tr = "infeasible" if trans is None else "feasible"
+        return [f"{name}: base is {b} but transformed is {tr}"]
+    return []
+
+
+def _scale_cost(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    factor = int(gen.choice([2, 3, 7]))
+    g2 = inst.graph.with_weights(inst.graph.cost * factor, inst.graph.delay)
+    name = "scale_cost"
+
+    def check(b, tr):
+        issues = _feasibility_must_match(name, b, tr)
+        if b is not None and tr is not None and tr.cost != factor * b.cost:
+            issues.append(
+                f"{name}: costs scaled by {factor} but optimum went "
+                f"{b.cost} -> {tr.cost} (expected {factor * b.cost})"
+            )
+        return issues
+
+    return Metamorphosis(name, inst.derive(graph=g2, transform=name), check)
+
+
+def _scale_delay(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    factor = int(gen.choice([2, 3, 5]))
+    g2 = inst.graph.with_weights(inst.graph.cost, inst.graph.delay * factor)
+    name = "scale_delay"
+
+    def check(b, tr):
+        issues = _feasibility_must_match(name, b, tr)
+        if b is not None and tr is not None and tr.cost != b.cost:
+            issues.append(
+                f"{name}: delays and budget scaled by {factor} but optimum "
+                f"changed {b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name,
+        inst.derive(graph=g2, delay_bound=inst.delay_bound * factor, transform=name),
+        check,
+    )
+
+
+def _subdivide(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    g2 = subdivide_edges(inst.graph, range(inst.graph.m), rng=gen)
+    name = "subdivide"
+
+    def check(b, tr):
+        issues = _feasibility_must_match(name, b, tr)
+        if b is not None and tr is not None and tr.cost != b.cost:
+            issues.append(
+                f"{name}: edge subdivision changed the optimum "
+                f"{b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(name, inst.derive(graph=g2, transform=name), check)
+
+
+def _split_vertices(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    split = split_vertices(inst.graph, inst.s, inst.t, gates=inst.k)
+    name = "split_vertices"
+
+    def check(b, tr):
+        issues = _feasibility_must_match(name, b, tr)
+        if b is not None and tr is not None and tr.cost != b.cost:
+            issues.append(
+                f"{name}: k-gate vertex splitting changed the optimum "
+                f"{b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name,
+        inst.derive(graph=split.graph, s=split.s, t=split.t, transform=name),
+        check,
+    )
+
+
+def _relax_budget(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    slack = max(1, inst.delay_bound // 4) + int(gen.integers(3))
+    name = "relax_budget"
+
+    def check(b, tr):
+        issues = []
+        if b is not None and tr is None:
+            issues.append(f"{name}: relaxing the budget made the instance infeasible")
+        if b is not None and tr is not None and tr.cost > b.cost:
+            issues.append(
+                f"{name}: budget {inst.delay_bound} -> {inst.delay_bound + slack} "
+                f"but optimum rose {b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name, inst.derive(delay_bound=inst.delay_bound + slack, transform=name), check
+    )
+
+
+def _tighten_budget(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis | None:
+    if inst.delay_bound == 0:
+        return None
+    cut = min(inst.delay_bound, max(1, inst.delay_bound // 8))
+    name = "tighten_budget"
+
+    def check(b, tr):
+        issues = []
+        if tr is not None and b is None:
+            issues.append(f"{name}: tightening the budget made the instance feasible")
+        if b is not None and tr is not None and tr.cost < b.cost:
+            issues.append(
+                f"{name}: budget {inst.delay_bound} -> {inst.delay_bound - cut} "
+                f"but optimum fell {b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name, inst.derive(delay_bound=inst.delay_bound - cut, transform=name), check
+    )
+
+
+def _swap_cost_delay(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis | None:
+    # The dual asks: minimize total delay subject to total cost <= opt.
+    # The primal optimum itself witnesses feasibility with value <= its own
+    # delay, so the dual optimum cannot exceed it.
+    if base is None:
+        return None
+    primal_delay = base.delay
+    g2 = inst.graph.with_weights(inst.graph.delay, inst.graph.cost)
+    name = "swap_cost_delay"
+
+    def check(b, tr):
+        issues = []
+        if tr is None:
+            issues.append(
+                f"{name}: dual instance infeasible although the primal optimum "
+                f"(cost {base.cost}) witnesses it"
+            )
+        elif tr.cost > primal_delay:
+            issues.append(
+                f"{name}: dual optimum {tr.cost} exceeds the primal optimal "
+                f"solution's delay {primal_delay}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name, inst.derive(graph=g2, delay_bound=base.cost, transform=name), check
+    )
+
+
+def _add_junk(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorphosis:
+    g = inst.graph
+    extra = int(gen.integers(2, 5))
+    base_n = g.n
+    tails = [base_n + int(gen.integers(extra)) for _ in range(extra)]
+    heads = [base_n + int(gen.integers(extra)) for _ in range(extra)]
+    costs = [int(gen.integers(1, 20)) for _ in range(extra)]
+    delays = [int(gen.integers(1, 20)) for _ in range(extra)]
+    g2 = DiGraph(
+        base_n + extra,
+        np.concatenate([g.tail, np.array(tails, dtype=np.int64)]),
+        np.concatenate([g.head, np.array(heads, dtype=np.int64)]),
+        np.concatenate([g.cost, np.array(costs, dtype=np.int64)]),
+        np.concatenate([g.delay, np.array(delays, dtype=np.int64)]),
+    )
+    name = "add_junk"
+
+    def check(b, tr):
+        issues = _feasibility_must_match(name, b, tr)
+        if b is not None and tr is not None and tr.cost != b.cost:
+            issues.append(
+                f"{name}: unreachable junk component changed the optimum "
+                f"{b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(name, inst.derive(graph=g2, transform=name), check)
+
+
+TRANSFORMS: dict[
+    str,
+    Callable[
+        [OracleInstance, np.random.Generator, ExactSolution | None],
+        Metamorphosis | None,
+    ],
+] = {
+    "scale_cost": _scale_cost,
+    "scale_delay": _scale_delay,
+    "subdivide": _subdivide,
+    "split_vertices": _split_vertices,
+    "relax_budget": _relax_budget,
+    "tighten_budget": _tighten_budget,
+    "swap_cost_delay": _swap_cost_delay,
+    "add_junk": _add_junk,
+}
+"""Name -> transform factory. Factories may return ``None`` when the
+transform does not apply (e.g. the dual needs a feasible base)."""
+
+
+def apply_transform(
+    name: str,
+    inst: OracleInstance,
+    rng,
+    base_exact: ExactSolution | None,
+) -> Metamorphosis | None:
+    """Instantiate transform ``name`` on ``inst`` (``None`` if inapplicable).
+
+    ``base_exact`` is the exact solution of ``inst`` (``None`` =
+    infeasible); transforms that need ground truth (the cost/delay dual)
+    consume it, the rest ignore it.
+    """
+    return TRANSFORMS[name](inst, as_rng(rng), base_exact)

@@ -1,0 +1,196 @@
+"""Greedy reproducer minimization for differential failures.
+
+Given a failing instance, the shrinker searches for the smallest instance
+that still exhibits a failure of the *same kind from the same solver* (the
+``kind``/``solver`` pair keyes the bug; matching on the message would pin
+incidental numbers). Passes, applied to a fixpoint under a global predicate
+-evaluation budget:
+
+1. **edge chunk removal** — ddmin-style: drop halves, then quarters, ...
+   down to single edges;
+2. **vertex pruning** — drop vertices that ended up isolated, compressing
+   labels;
+3. **weight shrinking** — per edge, try zeroing then halving cost and
+   delay;
+4. **budget shrinking** — try 0 and successive halvings of ``D``.
+
+Every accepted step strictly reduces ``(m, n, total weight, D)``
+lexicographically-ish, so termination is structural; the evaluation budget
+just caps worst-case wall clock on stubborn reproducers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.oracle.differential import DiffReport, run_differential
+from repro.oracle.instances import OracleInstance
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    instance: OracleInstance
+    failure_kind: str
+    failure_solver: str
+    evaluations: int
+    shrunk: bool  # did we reduce anything at all?
+
+
+def _matches(report: DiffReport, kind: str, solver: str) -> bool:
+    return any(f.kind == kind and f.solver == solver for f in report.failures)
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _still_fails(
+    inst: OracleInstance, kind: str, solver: str, budget: _Budget, milp_time_limit: float
+) -> bool:
+    if not budget.spend():
+        return False
+    try:
+        report = run_differential(inst, milp_time_limit=milp_time_limit)
+    except Exception:
+        # A malformed shrink candidate (e.g. terminals disconnected in a
+        # way a constructor rejects) is simply not a reproducer.
+        return False
+    return _matches(report, kind, solver)
+
+
+def _drop_edges(g: DiGraph, keep_mask: np.ndarray) -> DiGraph:
+    eids = np.nonzero(keep_mask)[0]
+    return DiGraph(g.n, g.tail[eids], g.head[eids], g.cost[eids], g.delay[eids])
+
+
+def _prune_isolated(inst: OracleInstance) -> OracleInstance | None:
+    """Relabel away vertices with no incident edges (terminals survive)."""
+    g = inst.graph
+    used = np.zeros(g.n, dtype=bool)
+    used[g.tail] = True
+    used[g.head] = True
+    used[inst.s] = True
+    used[inst.t] = True
+    if used.all():
+        return None
+    relabel = np.cumsum(used) - 1
+    return inst.derive(
+        graph=DiGraph(
+            int(used.sum()),
+            relabel[g.tail],
+            relabel[g.head],
+            g.cost.copy(),
+            g.delay.copy(),
+        ),
+        s=int(relabel[inst.s]),
+        t=int(relabel[inst.t]),
+    )
+
+
+def shrink(
+    inst: OracleInstance,
+    kind: str,
+    solver: str,
+    max_evaluations: int = 300,
+    milp_time_limit: float = 10.0,
+) -> ShrinkResult:
+    """Minimize ``inst`` while a ``(kind, solver)`` failure reproduces.
+
+    Returns the smallest reproducer found within the evaluation budget
+    (possibly the input itself when nothing could be removed).
+    """
+    budget = _Budget(max_evaluations)
+    current = inst
+    shrunk = False
+
+    def fails(cand: OracleInstance) -> bool:
+        return _still_fails(cand, kind, solver, budget, milp_time_limit)
+
+    # Pass 1: ddmin over edges.
+    progress = True
+    while progress and budget.used < budget.limit:
+        progress = False
+        m = current.graph.m
+        chunk = max(1, m // 2)
+        while chunk >= 1 and budget.used < budget.limit:
+            start = 0
+            while start < current.graph.m:
+                m = current.graph.m
+                keep = np.ones(m, dtype=bool)
+                keep[start : start + chunk] = False
+                if keep.all() or not keep.any():
+                    start += chunk
+                    continue
+                cand = current.derive(graph=_drop_edges(current.graph, keep))
+                if fails(cand):
+                    current = cand
+                    shrunk = True
+                    progress = True
+                    # Do not advance: the window now covers new edges.
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+
+    # Pass 2: prune isolated vertices (no predicate needed beyond one
+    # confirmation — relabeling cannot change solver behaviour, but we
+    # re-check to stay honest).
+    pruned = _prune_isolated(current)
+    if pruned is not None and fails(pruned):
+        current = pruned
+        shrunk = True
+
+    # Pass 3: weight shrinking.
+    for attr in ("cost", "delay"):
+        e = 0
+        while e < current.graph.m and budget.used < budget.limit:
+            w = getattr(current.graph, attr)
+            val = int(w[e])
+            if val > 0:
+                for new_val in (0, val // 2):
+                    if new_val == val:
+                        continue
+                    w2 = w.copy()
+                    w2[e] = new_val
+                    g2 = (
+                        current.graph.with_weights(w2, current.graph.delay)
+                        if attr == "cost"
+                        else current.graph.with_weights(current.graph.cost, w2)
+                    )
+                    cand = current.derive(graph=g2)
+                    if fails(cand):
+                        current = cand
+                        shrunk = True
+                        break
+            e += 1
+
+    # Pass 4: budget shrinking.
+    for new_d in (0, current.delay_bound // 2, current.delay_bound - 1):
+        if 0 <= new_d < current.delay_bound and budget.used < budget.limit:
+            cand = current.derive(delay_bound=int(new_d))
+            if fails(cand):
+                current = cand
+                shrunk = True
+                break
+
+    return ShrinkResult(
+        instance=current,
+        failure_kind=kind,
+        failure_solver=solver,
+        evaluations=budget.used,
+        shrunk=shrunk,
+    )

@@ -1,9 +1,12 @@
-"""Shared fixtures and instance factories for the test suite."""
+"""Shared fixtures, hypothesis profiles, and instance factories."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graph import (
     DiGraph,
@@ -15,6 +18,28 @@ from repro.graph import (
     parallel_chains,
     uniform_weights,
 )
+
+# Hypothesis profiles: the solver-heavy property suites inherit whichever
+# profile HYPOTHESIS_PROFILE selects (default "dev"). Both disable the
+# per-example deadline — MILP oracle calls have heavy-tailed latency and a
+# wall-clock deadline would flake, not find bugs. "ci" additionally
+# derandomizes so a red CI run is reproducible from the log alone, and
+# spends more examples since CI minutes are cheaper than reviewer minutes.
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=40,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -69,6 +69,78 @@ class TestBadSolutions:
         assert not rep.valid
 
 
+class TestAdversarialClaims:
+    """The verifier against a lying solver: every tampered report must be
+    flagged with a specific issue, never waved through."""
+
+    def two_route(self):
+        g, ids = from_edges(
+            [("s", "a", 1, 4), ("a", "t", 1, 4), ("s", "b", 3, 2), ("b", "t", 3, 2)]
+        )
+        return g, ids["s"], ids["t"]
+
+    def test_honest_claims_are_clean(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(
+            g, s, t, 2, 12, [[0, 1], [2, 3]],
+            check_bounds=False, claimed_cost=8, claimed_delay=12,
+        )
+        assert rep.clean and rep.cost == 8 and rep.delay == 12
+
+    def test_tampered_cost_flagged(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(
+            g, s, t, 2, 12, [[0, 1], [2, 3]],
+            check_bounds=False, claimed_cost=5, claimed_delay=12,
+        )
+        assert rep.valid and not rep.clean
+        assert any(
+            "claimed cost 5 does not match recomputed cost 8" in i
+            for i in rep.issues
+        )
+
+    def test_tampered_delay_flagged(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(
+            g, s, t, 2, 12, [[0, 1], [2, 3]],
+            check_bounds=False, claimed_cost=8, claimed_delay=3,
+        )
+        assert not rep.clean
+        assert any(
+            "claimed delay 3 does not match recomputed delay 12" in i
+            for i in rep.issues
+        )
+
+    def test_nondisjoint_paths_flagged(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(g, s, t, 2, 12, [[0, 1], [0, 1]], check_bounds=False)
+        assert not rep.valid and not rep.clean
+        assert any("structural" in i and "share edge" in i for i in rep.issues)
+
+    def test_empty_path_list_flagged(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(g, s, t, 2, 12, [], check_bounds=False)
+        assert not rep.valid and not rep.clean
+        assert any("expected 2 paths, got 0" in i for i in rep.issues)
+
+    def test_empty_inner_path_flagged(self):
+        g, s, t = self.two_route()
+        rep = verify_solution(g, s, t, 2, 12, [[0, 1], []], check_bounds=False)
+        assert not rep.valid and not rep.clean
+        assert any("structural" in i for i in rep.issues)
+
+    def test_overbudget_and_tampered_both_reported(self):
+        g, s, t = self.two_route()
+        # Budget 5 is violated (true delay 12) *and* the totals are forged.
+        rep = verify_solution(
+            g, s, t, 2, 5, [[0, 1], [2, 3]],
+            check_bounds=False, claimed_cost=8, claimed_delay=5,
+        )
+        assert rep.valid and not rep.delay_feasible and not rep.clean
+        assert any("delay 12 exceeds budget 5" in i for i in rep.issues)
+        assert any("claimed delay 5" in i for i in rep.issues)
+
+
 class TestOracleCrossChecks:
     def test_milp_consistency(self):
         g, ids = from_edges(

@@ -22,6 +22,7 @@ PUBLIC_PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.eval",
+    "repro.oracle",
 ]
 
 
@@ -40,7 +41,8 @@ def test_all_public_names_documented(mod_name):
 
 @pytest.mark.parametrize(
     "fname",
-    ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md", "docs/API.md"],
+    ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
+     "docs/API.md", "docs/TESTING.md"],
 )
 def test_top_level_documents_exist(fname):
     path = ROOT / fname

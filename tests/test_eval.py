@@ -46,7 +46,8 @@ class TestWorkloads:
             assert tight <= loose
 
     def test_registry(self):
-        assert len(WORKLOADS) == 6
+        assert len(WORKLOADS) == 7
+        assert "ring_anticorrelated" in WORKLOADS
 
 
 class TestHarness:

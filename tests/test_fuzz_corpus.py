@@ -1,0 +1,81 @@
+"""Regression corpus replay: every committed instance, through the oracle.
+
+The corpus (``tests/corpus/*.json``) holds the seed sentinels (Figure-1
+gadget plus one instance per substrate) and any minimized crashers the fuzz
+driver has persisted. Replaying all of them through the differential runner
+on every test run means a once-fixed bug cannot silently regress — the
+exact failing instance is part of the suite forever.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.oracle import load_corpus, run_differential
+from repro.oracle.corpus import entry_from_dict, entry_to_dict
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+class TestCorpusContents:
+    def test_seed_sentinels_present(self):
+        assert len(ENTRIES) >= 8, "seed corpus is incomplete"
+        substrates = {e.instance.substrate for e in ENTRIES}
+        # One sentinel per substrate, including the paper's Figure-1 gadget.
+        assert {
+            "chains", "er", "figure1", "grid", "layered", "ring",
+            "scale_free", "waxman",
+        } <= substrates
+
+    def test_meta_is_well_formed(self):
+        for entry in ENTRIES:
+            assert entry.meta["origin"] in ("seed", "fuzz"), entry.name
+            assert "note" in entry.meta, entry.name
+            # Seeds never broke anything; crashers must say what they broke.
+            if entry.meta["origin"] == "fuzz":
+                assert entry.meta["failure_kind"], entry.name
+                assert entry.meta["failure_solver"], entry.name
+
+    def test_roundtrip_is_lossless(self):
+        for entry in ENTRIES:
+            again = entry_from_dict(entry_to_dict(entry))
+            assert again.instance == entry.instance, entry.name
+            assert again.meta == entry.meta, entry.name
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_replays_clean(entry):
+    """The differential runner must stay clean on every corpus instance."""
+    report = run_differential(entry.instance, milp_time_limit=30.0)
+    assert report.ok, (
+        f"corpus regression on {entry.name}: "
+        + "; ".join(f"{f.kind}/{f.solver}: {f.message}" for f in report.failures)
+    )
+
+
+class TestFuzzCli:
+    def test_smoke_run_is_clean_and_reports(self, tmp_path, capsys):
+        report_path = tmp_path / "fuzz.json"
+        rc = main([
+            "fuzz", "--budget", "3", "--seed", "0", "--max-instances", "6",
+            "--corpus", str(CORPUS_DIR), "--no-shrink",
+            "--report", str(report_path),
+        ])
+        assert rc == 0, capsys.readouterr().err
+        data = json.loads(report_path.read_text())
+        assert data["clean"] is True
+        assert data["seed"] == 0
+        # Corpus replay alone already exceeds the instance floor.
+        assert data["instances_checked"] >= data["corpus_replayed"] >= 8
+        assert set(data) >= {
+            "schema", "elapsed_seconds", "per_substrate", "per_transform",
+            "failures", "base_instances", "transformed_instances",
+        }
+
+    def test_unknown_substrate_is_an_argument_error(self, capsys):
+        rc = main(["fuzz", "--budget", "1", "--substrates", "nonesuch"])
+        assert rc == 2
+        assert "nonesuch" in capsys.readouterr().err

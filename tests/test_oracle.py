@@ -1,0 +1,211 @@
+"""Unit tests for the oracle's generation layers: substrates, mutations,
+the instance stream, and the metamorphic transforms.
+
+The differential/shrinker layers get their own module
+(``test_oracle_differential.py``); here we pin the properties generation
+must have for the whole subsystem to be trustworthy — determinism,
+provenance, coverage, and that every metamorphic relation both *passes* on
+honest oracle answers and *fires* on planted violations.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.lp.milp import solve_krsp_milp
+from repro.oracle import (
+    MUTATIONS,
+    SUBSTRATES,
+    TRANSFORMS,
+    OracleInstance,
+    apply_transform,
+    instance_stream,
+    make_base_instance,
+    oracle_instance_from_dict,
+    oracle_instance_to_dict,
+)
+
+
+def first_feasible(substrate="er", start_seed=0):
+    for seed in itertools.count(start_seed):
+        inst = make_base_instance(substrate, seed)
+        if inst is None:
+            continue
+        exact = solve_krsp_milp(
+            inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+        )
+        if exact is not None:
+            return inst, exact
+
+
+class TestSubstrates:
+    @pytest.mark.parametrize("name", sorted(SUBSTRATES))
+    def test_builders_are_deterministic(self, name):
+        a = make_base_instance(name, 7)
+        b = make_base_instance(name, 7)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.graph == b.graph
+            assert (a.s, a.t, a.k, a.delay_bound) == (b.s, b.t, b.k, b.delay_bound)
+            assert a.substrate == name and a.label.startswith(name)
+
+    def test_figure1_always_asks_for_two_paths(self):
+        for seed in range(10):
+            inst = make_base_instance("figure1", seed)
+            if inst is not None:
+                assert inst.k == 2
+
+    def test_boundary_draws_occur(self):
+        """With boundary_fraction=1 every draw sits at the feasibility
+        edge — tight-but-feasible or strictly infeasible, never in-band."""
+        from repro.flow.mincost import min_cost_k_flow
+
+        seen_infeasible = False
+        for seed in range(20):
+            inst = make_base_instance("er", seed, boundary_fraction=1.0)
+            if inst is None:
+                continue
+            flow = min_cost_k_flow(
+                inst.graph, inst.s, inst.t, inst.k, weight=inst.graph.delay
+            )
+            if flow is None or inst.delay_bound < flow.weight:
+                seen_infeasible = True
+            else:
+                assert inst.delay_bound == flow.weight
+        assert seen_infeasible, "boundary mode never produced an infeasible draw"
+
+
+class TestMutations:
+    def base(self):
+        inst, _ = first_feasible("grid")
+        return inst
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_mutations_preserve_provenance_and_terminals(self, name):
+        inst = self.base()
+        out = MUTATIONS[name](inst, np.random.default_rng(3))
+        assert isinstance(out, OracleInstance)
+        assert out.substrate == inst.substrate
+        # tighten may be a no-op (already minimal); the rest must tag.
+        if out is not inst:
+            assert out.mutation == name
+            assert f"+{name}" in out.label
+        assert 0 <= out.s < out.graph.n and 0 <= out.t < out.graph.n
+
+    def test_tighten_reaches_the_exact_minimum(self):
+        from repro.flow.mincost import min_cost_k_flow
+
+        inst = self.base()
+        out = MUTATIONS["tighten"](inst, np.random.default_rng(0))
+        flow = min_cost_k_flow(out.graph, out.s, out.t, out.k, weight=out.graph.delay)
+        assert flow is not None
+        assert out.delay_bound == flow.weight
+
+    def test_graft_keeps_original_edges(self):
+        inst = self.base()
+        out = MUTATIONS["graft_figure1"](inst, np.random.default_rng(5))
+        m = inst.graph.m
+        assert out.graph.m > m
+        assert np.array_equal(out.graph.cost[:m], inst.graph.cost)
+        assert np.array_equal(out.graph.delay[:m], inst.graph.delay)
+
+
+class TestInstanceStream:
+    def test_stream_is_a_pure_function_of_the_seed(self):
+        a = list(itertools.islice(instance_stream(11), 10))
+        b = list(itertools.islice(instance_stream(11), 10))
+        for x, y in zip(a, b):
+            assert x.graph == y.graph and x.label == y.label
+            assert x.delay_bound == y.delay_bound
+
+    def test_stream_covers_substrates_and_mutations(self):
+        batch = list(itertools.islice(instance_stream(0), 40))
+        substrates = {i.substrate for i in batch}
+        mutations = {i.mutation for i in batch if i.mutation}
+        assert len(substrates) >= 3
+        assert mutations, "no mutated instance in 40 draws"
+
+    def test_substrate_subset_is_honored(self):
+        batch = list(itertools.islice(instance_stream(0, substrates=["grid"]), 5))
+        assert {i.substrate for i in batch} == {"grid"}
+        with pytest.raises(KeyError):
+            next(instance_stream(0, substrates=["nonesuch"]))
+
+
+class TestInstanceSerialization:
+    def test_roundtrip(self):
+        inst, _ = first_feasible()
+        again = oracle_instance_from_dict(oracle_instance_to_dict(inst))
+        assert again == inst
+
+    def test_plain_io_payload_loads(self):
+        """A bare repro.graph.io instance dict (no provenance) loads too."""
+        inst, _ = first_feasible()
+        data = oracle_instance_to_dict(inst)
+        for key in ("label", "substrate", "seed", "mutation", "transform"):
+            del data[key]
+        again = oracle_instance_from_dict(data)
+        assert again.graph == inst.graph and again.substrate == ""
+
+
+class TestMetamorphicRelations:
+    """Every transform must (a) produce an instance whose true optimum
+    satisfies the claimed relation, and (b) flag a planted violation."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        return first_feasible("grid")
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_relation_holds_on_honest_answers(self, name, base):
+        inst, exact = base
+        meta = apply_transform(name, inst, 123, exact)
+        if meta is None:
+            pytest.skip(f"{name} not applicable here")
+        ti = meta.instance
+        assert ti.transform == name and f"~{name}" in ti.label
+        trans_exact = solve_krsp_milp(ti.graph, ti.s, ti.t, ti.k, ti.delay_bound)
+        assert meta.check(exact, trans_exact) == []
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_relation_fires_on_planted_violation(self, name, base):
+        inst, exact = base
+        meta = apply_transform(name, inst, 123, exact)
+        if meta is None:
+            pytest.skip(f"{name} not applicable here")
+        # A wildly wrong "optimum" must break every relation: equalities
+        # and the scaling law reject any deviation; the inequalities each
+        # have one violating direction (cheaper for tighten_budget, dearer
+        # for everything else).
+        if name == "tighten_budget":
+            if exact.cost == 0:
+                pytest.skip("zero-cost optimum cannot be undercut")
+            forged_cost = 0
+        else:
+            forged_cost = exact.cost * 1000 + 17
+        forged = SimpleNamespace(paths=[], cost=forged_cost, delay=0)
+        issues = meta.check(exact, forged)
+        assert issues and all(name in msg for msg in issues)
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_transforms_are_deterministic(self, name, base):
+        inst, exact = base
+        a = apply_transform(name, inst, 9, exact)
+        b = apply_transform(name, inst, 9, exact)
+        if a is None:
+            assert b is None
+            return
+        assert a.instance.graph == b.instance.graph
+        assert a.instance.delay_bound == b.instance.delay_bound
+
+    def test_feasibility_flip_is_flagged(self, base):
+        inst, exact = base
+        meta = apply_transform("scale_cost", inst, 5, exact)
+        issues = meta.check(exact, None)
+        assert issues and "infeasible" in issues[0]
+
+    def test_swap_needs_a_feasible_base(self, base):
+        inst, _ = base
+        assert apply_transform("swap_cost_delay", inst, 5, None) is None

@@ -1,0 +1,249 @@
+"""The differential runner, shrinker, and fuzz driver against planted bugs.
+
+A test oracle is only trustworthy if it demonstrably *catches* the bug
+classes it claims to. These tests plant each class — tampered totals,
+budget violations, false infeasibility claims, non-disjoint paths, crashes,
+feasibility disagreements — by monkeypatching evil solvers into the shared
+``BASELINES`` registry (or the differential module's ``solve_krsp``), and
+assert the exact typed :class:`Failure` comes out, survives shrinking, and
+lands in the corpus as a replayable reproducer.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+import pytest
+
+from repro.baselines import BASELINES
+from repro.baselines.minsum import BaselineResult, minsum_baseline
+from repro.errors import InfeasibleInstanceError, ReproError
+from repro.graph import from_edges
+from repro.lp.milp import solve_krsp_milp
+from repro.oracle import (
+    FuzzConfig,
+    OracleInstance,
+    make_base_instance,
+    run_differential,
+    run_fuzz,
+    shrink,
+    write_report,
+)
+from repro.oracle.corpus import load_corpus
+
+
+def feasible_instance(substrate="er", start_seed=0):
+    for seed in itertools.count(start_seed):
+        inst = make_base_instance(substrate, seed)
+        if inst is None:
+            continue
+        exact = solve_krsp_milp(inst.graph, inst.s, inst.t, inst.k, inst.delay_bound)
+        if exact is not None:
+            return inst, exact
+
+
+def two_edge_instance(delay_bound=5):
+    """One cheap/slow and one pricey/fast parallel s-t edge, k=1."""
+    g, ids = from_edges([("s", "t", 1, 9), ("s", "t", 5, 1)])
+    return OracleInstance(
+        graph=g, s=ids["s"], t=ids["t"], k=1, delay_bound=delay_bound,
+        substrate="handmade",
+    ).derive()
+
+
+def forging_minsum(delta):
+    """A baseline that solves honestly but lies about its cost total."""
+
+    def evil(g, s, t, k, D):
+        res = minsum_baseline(g, s, t, k, D)
+        return BaselineResult(
+            name=res.name, paths=res.paths, cost=res.cost + delta,
+            delay=res.delay, meets_delay_bound=res.meets_delay_bound,
+        )
+
+    return evil
+
+
+class TestCleanRun:
+    def test_clean_instance_produces_no_failures(self):
+        inst, exact = feasible_instance()
+        report = run_differential(inst, exact=exact)
+        assert report.ok, [f.as_dict() for f in report.failures]
+        assert report.opt_cost == exact.cost
+        assert "solve_krsp" in report.solvers_run
+        assert set(BASELINES) <= set(report.solvers_run)
+
+    def test_scaled_mode_is_opt_in(self):
+        inst, exact = feasible_instance()
+        a = run_differential(inst, exact=exact, run_scaled=False)
+        b = run_differential(inst, exact=exact, run_scaled=True)
+        assert "solve_krsp_scaled" not in a.solvers_run
+        assert "solve_krsp_scaled" in b.solvers_run and b.ok
+
+
+class TestPlantedBaselineBugs:
+    def test_tampered_totals_become_invariant_failures(self, monkeypatch):
+        inst, exact = feasible_instance()
+        monkeypatch.setitem(BASELINES, "greedy_sequential", forging_minsum(+1))
+        report = run_differential(inst, exact=exact)
+        hits = [f for f in report.failures if f.solver == "greedy_sequential"]
+        assert hits and all(f.kind == "invariant" for f in hits)
+        assert any("claimed cost" in f.message for f in hits)
+
+    def test_false_infeasibility_claim_is_caught(self, monkeypatch):
+        inst, exact = feasible_instance()
+
+        def defeatist(g, s, t, k, D):
+            raise InfeasibleInstanceError("cannot be bothered")
+
+        # lp_rounding carries the lemma5 guarantee: its infeasibility
+        # verdicts are authoritative, so a false one must be flagged.
+        monkeypatch.setitem(BASELINES, "lp_rounding_2_2", defeatist)
+        report = run_differential(inst, exact=exact)
+        hits = [f for f in report.failures if f.solver == "lp_rounding_2_2"]
+        assert [f.kind for f in hits] == ["feasibility"]
+
+    def test_heuristic_may_give_up_without_penalty(self, monkeypatch):
+        inst, exact = feasible_instance()
+
+        def defeatist(g, s, t, k, D):
+            raise InfeasibleInstanceError("cannot be bothered")
+
+        # ksp_filtering promises nothing, so giving up is tolerated.
+        monkeypatch.setitem(BASELINES, "ksp_filtering", defeatist)
+        report = run_differential(inst, exact=exact)
+        assert not [f for f in report.failures if f.solver == "ksp_filtering"]
+
+    def test_crash_is_reported_not_raised(self, monkeypatch):
+        inst, exact = feasible_instance()
+
+        def bomber(g, s, t, k, D):
+            raise ReproError("kaboom")
+
+        monkeypatch.setitem(BASELINES, "ksp_filtering", bomber)
+        report = run_differential(inst, exact=exact)
+        hits = [f for f in report.failures if f.solver == "ksp_filtering"]
+        assert [f.kind for f in hits] == ["crash"]
+        assert "kaboom" in hits[0].message
+
+    def test_nondisjoint_paths_are_an_invariant_failure(self, monkeypatch):
+        inst, exact = feasible_instance()
+
+        def duplicator(g, s, t, k, D):
+            res = minsum_baseline(g, s, t, k, D)
+            paths = [list(res.paths[0])] * k
+            flat = [e for p in paths for e in p]
+            return BaselineResult(
+                name="dup", paths=paths, cost=g.cost_of(flat),
+                delay=g.delay_of(flat), meets_delay_bound=True,
+            )
+
+        monkeypatch.setitem(BASELINES, "greedy_sequential", duplicator)
+        report = run_differential(inst, exact=exact)
+        hits = [f for f in report.failures if f.solver == "greedy_sequential"]
+        if inst.k == 1:  # k=1 duplication is a no-op; nothing to flag
+            assert not hits
+        else:
+            assert hits and hits[0].kind == "invariant"
+            assert "structural" in hits[0].message
+
+
+class TestPlantedSolverBugs:
+    def test_budget_violation_is_a_bifactor_failure(self, monkeypatch):
+        inst = two_edge_instance(delay_bound=5)
+
+        def evil_solver(g, s, t, k, D, **kw):
+            # Returns the cheap path whose delay 9 busts the budget 5.
+            return SimpleNamespace(paths=[[0]], cost=1, delay=9, cost_lower_bound=None)
+
+        monkeypatch.setattr("repro.oracle.differential.solve_krsp", evil_solver)
+        report = run_differential(inst)
+        hits = [f for f in report.failures if f.solver == "solve_krsp"]
+        assert [f.kind for f in hits] == ["bifactor"]
+        assert "delay 9 exceeds budget 5" in hits[0].message
+
+    def test_tampered_solver_totals_are_flagged(self, monkeypatch):
+        inst = two_edge_instance(delay_bound=5)
+
+        def evil_solver(g, s, t, k, D, **kw):
+            # The fast path honestly costs 5; claim 3.
+            return SimpleNamespace(paths=[[1]], cost=3, delay=1, cost_lower_bound=None)
+
+        monkeypatch.setattr("repro.oracle.differential.solve_krsp", evil_solver)
+        report = run_differential(inst)
+        hits = [f for f in report.failures if f.solver == "solve_krsp"]
+        assert hits and hits[0].kind == "invariant"
+        assert "claimed cost 3" in hits[0].message
+
+    def test_feasibility_disagreement_both_directions(self):
+        # Force the oracle side to "infeasible" on a feasible instance:
+        # every budget-feasible honest solution becomes a witness against it.
+        inst = two_edge_instance(delay_bound=9)  # cheap path fits exactly
+        report = run_differential(inst, exact=None)
+        kinds = {(f.kind, f.solver) for f in report.failures}
+        assert ("feasibility", "solve_krsp") in kinds
+        assert ("feasibility", "minsum") in kinds
+
+
+class TestShrinker:
+    def test_shrinks_to_a_smaller_reproducer(self, monkeypatch):
+        inst, _ = feasible_instance()
+        monkeypatch.setitem(BASELINES, "greedy_sequential", forging_minsum(+1))
+        result = shrink(
+            inst, "invariant", "greedy_sequential",
+            max_evaluations=120, milp_time_limit=10.0,
+        )
+        assert result.shrunk
+        assert result.instance.graph.m < inst.graph.m
+        assert 0 < result.evaluations <= 120
+        replay = run_differential(result.instance, milp_time_limit=10.0)
+        assert any(
+            f.kind == "invariant" and f.solver == "greedy_sequential"
+            for f in replay.failures
+        )
+
+    def test_vanished_failure_returns_input(self):
+        inst, _ = feasible_instance()
+        result = shrink(inst, "invariant", "greedy_sequential", max_evaluations=30)
+        assert not result.shrunk
+        assert result.instance == inst
+
+
+class TestDriver:
+    def test_clean_session_and_report_roundtrip(self, tmp_path):
+        config = FuzzConfig(
+            seed=3, budget_seconds=120.0, max_instances=6,
+            corpus_dir=None, replay_corpus=False, milp_time_limit=10.0,
+        )
+        report = run_fuzz(config)
+        assert report.clean
+        assert report.instances_checked >= 6
+        assert report.base_instances >= 1
+        assert sum(report.per_substrate.values()) == report.base_instances
+        out = tmp_path / "report.json"
+        write_report(report, out)
+        assert out.exists() and '"clean": true' in out.read_text()
+
+    def test_planted_bug_fails_run_with_minimized_reproducer(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(BASELINES, "greedy_sequential", forging_minsum(+1))
+        config = FuzzConfig(
+            seed=0, budget_seconds=120.0, max_instances=8,
+            corpus_dir=tmp_path, replay_corpus=False,
+            shrink_evaluations=60, milp_time_limit=10.0,
+        )
+        report = run_fuzz(config)
+        assert not report.clean
+        saved = [r for r in report.failures if r.reproducer]
+        assert saved, "no reproducer was persisted"
+        entries = list(load_corpus(tmp_path))
+        assert entries
+        entry = entries[0]
+        assert entry.meta["origin"] == "fuzz"
+        assert entry.meta["failure_kind"] == "invariant"
+        assert entry.meta["failure_solver"] == "greedy_sequential"
+        replay = run_differential(entry.instance, milp_time_limit=10.0)
+        assert any(
+            f.kind == "invariant" and f.solver == "greedy_sequential"
+            for f in replay.failures
+        )

@@ -3,11 +3,15 @@
 Each property generates random instances and checks a theorem-level
 invariant of the full pipeline — the highest-leverage regression net the
 repository has.
+
+Hypothesis settings come from the profiles registered in ``conftest.py``
+(select with ``HYPOTHESIS_PROFILE=ci``); tests only override
+``max_examples`` where the oracle makes examples expensive.
 """
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import solve_krsp
 from repro.errors import InfeasibleInstanceError, ReproError
@@ -20,13 +24,6 @@ from repro.graph import (
 from repro.graph.validate import check_disjoint_paths
 from repro.lp.milp import solve_krsp_milp
 
-COMMON = dict(
-    deadline=None,
-    max_examples=25,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-
 def _random_instance(seed: int, n: int = 10, model: str = "anti"):
     g = gnp_digraph(n, 0.4, rng=seed)
     if model == "anti":
@@ -36,7 +33,6 @@ def _random_instance(seed: int, n: int = 10, model: str = "anti"):
     return g
 
 
-@settings(**COMMON)
 @given(st.integers(0, 10**6), st.integers(1, 3), st.integers(10, 80))
 def test_lemma3_bifactor_1_2(seed, k, D):
     """Whenever the instance is feasible the solver returns disjoint paths
@@ -55,7 +51,6 @@ def test_lemma3_bifactor_1_2(seed, k, D):
     assert sol.cost <= 2 * exact.cost
 
 
-@settings(**COMMON)
 @given(st.integers(0, 10**6), st.integers(10, 60))
 def test_feasibility_trichotomy(seed, D):
     """solve_krsp either solves or raises InfeasibleInstanceError, in exact
@@ -71,7 +66,6 @@ def test_feasibility_trichotomy(seed, D):
         assert exact is None
 
 
-@settings(**COMMON)
 @given(st.integers(0, 10**6))
 def test_lower_bound_is_certified(seed):
     """The reported cost lower bound never exceeds the true optimum."""
@@ -86,7 +80,7 @@ def test_lower_bound_is_certified(seed):
     assert sol.cost >= float(sol.cost_lower_bound) - 1e-9
 
 
-@settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=10)
 @given(st.integers(0, 10**6), st.sampled_from([1.0, 0.5, 0.25]))
 def test_theorem4_scaled_bifactor(seed, eps):
     """Scaled mode: delay <= (1+eps) * D and cost <= (2+eps) * C_OPT."""
@@ -102,7 +96,7 @@ def test_theorem4_scaled_bifactor(seed, eps):
     check_disjoint_paths(g, sol.paths, s, t, k=2)
 
 
-@settings(deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=8)
 @given(st.integers(0, 10**6))
 def test_paper_literal_finder_agrees_on_guarantee(seed):
     """The Algorithm-3-literal finder keeps the same end-to-end guarantee."""
@@ -122,7 +116,6 @@ def test_paper_literal_finder_agrees_on_guarantee(seed):
     assert sol.cost <= 2 * exact.cost
 
 
-@settings(**COMMON)
 @given(st.integers(0, 10**6))
 def test_solution_is_deterministic(seed):
     """Same instance, same settings -> identical paths (full determinism)."""
@@ -137,7 +130,7 @@ def test_solution_is_deterministic(seed):
     assert a.cost == b.cost and a.delay == b.delay
 
 
-@settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=10)
 @given(st.integers(2, 4), st.integers(3, 5))
 def test_grid_interior_terminals_all_k(rows, cols):
     """Structured family: interior-terminal grids solve for every feasible

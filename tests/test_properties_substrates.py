@@ -2,11 +2,15 @@
 
 The complement of the end-to-end suite: laws that individual substrates
 must satisfy in isolation, discovered inputs free of charge.
+
+Hypothesis settings come from the profiles registered in ``conftest.py``
+(select with ``HYPOTHESIS_PROFILE=ci``); this suite raises ``max_examples``
+because substrate laws are cheap relative to the end-to-end oracle calls.
 """
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import build_residual, scale_instance, KRSPInstance
 from repro.flow import (
@@ -19,14 +23,7 @@ from repro.graph import gnp_digraph, anticorrelated_weights, uniform_weights
 from repro.paths import dijkstra, minimum_mean_cycle, rsp_exact, yen_k_shortest_paths
 from repro.paths.dijkstra import INF
 
-COMMON = dict(
-    deadline=None,
-    max_examples=30,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6))
 def test_suurballe_monotone_in_k(seed):
     """Total min-sum cost is nondecreasing and superadditive-ish in k:
@@ -46,7 +43,7 @@ def test_suurballe_monotone_in_k(seed):
         assert costs[2] - costs[1] >= costs[1] - costs[0]
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6))
 def test_residual_involution(seed):
     """Building a residual of a residual with the same edge set restores
@@ -64,7 +61,7 @@ def test_residual_involution(seed):
     assert np.array_equal(res2.graph.tail[sol], g.tail[sol])
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6), st.integers(1, 40))
 def test_rsp_monotone_in_budget(seed, D):
     """A larger delay budget never costs more."""
@@ -75,7 +72,7 @@ def test_rsp_monotone_in_budget(seed, D):
         assert b is not None and b[0] <= a[0]
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6))
 def test_mmc_lower_bounds_any_cycle(seed):
     """The minimum mean is a true lower bound: no negative cycle under
@@ -94,7 +91,7 @@ def test_mmc_lower_bounds_any_cycle(seed):
     assert find_negative_cycle(g, weight=w2) is None
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6))
 def test_yen_prefix_stability(seed):
     """The first K' of K shortest paths equal the K'-query exactly."""
@@ -104,7 +101,7 @@ def test_yen_prefix_stability(seed):
     assert big[: len(small)] == small
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6), st.sampled_from([0.5, 0.25]))
 def test_scaling_preserves_feasibility_exactly(seed, eps):
     """Every original-feasible path set stays feasible after scaling
@@ -122,7 +119,7 @@ def test_scaling_preserves_feasibility_exactly(seed, eps):
     assert scaled.instance.graph.delay_of(flat) <= scaled.instance.delay_bound
 
 
-@settings(**COMMON)
+@settings(max_examples=30)
 @given(st.integers(0, 10**6))
 def test_mincost_flow_lower_bounds_any_k_paths(seed):
     """min_cost_k_flow's weight is a true lower bound over every disjoint
