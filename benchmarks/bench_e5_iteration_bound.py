@@ -4,14 +4,23 @@ Audits recorded traces for the Lemma 12 invariant (r non-decreasing under
 the exact C_OPT) and compares measured iteration counts against the
 pseudo-polynomial bound ``D * sum(c) * sum(d)`` — expected to be
 astronomically loose (bound_ratio_max << 1).
+
+The run executes inside a telemetry session (``counter_snapshots``), so the
+experiment's self-reported iteration total is cross-checked against the
+solver's own ``cancellation.iterations`` counter — the table and the
+telemetry layer must tell the same Lemma-12 story.
 """
 
 from repro.eval.experiments import run_e5
 
 
-def test_e5_iteration_bound(benchmark, record_table):
-    headers, rows = benchmark.pedantic(
-        run_e5, kwargs={"n_instances": 8}, rounds=1, iterations=1
+def test_e5_iteration_bound(benchmark, record_table, counter_snapshots):
+    (headers, rows), counters = benchmark.pedantic(
+        counter_snapshots,
+        args=(run_e5,),
+        kwargs={"n_instances": 8},
+        rounds=1,
+        iterations=1,
     )
     record_table(
         "e5",
@@ -22,3 +31,7 @@ def test_e5_iteration_bound(benchmark, record_table):
     (count, iters_total, iters_max, violations, bound_ratio_max) = rows[0]
     assert violations == 0, "Lemma 12 invariant violated on a recorded trace"
     assert bound_ratio_max < 0.01, "iterations approached the theoretical bound?!"
+    # Lemma-12 audit from counters: every iteration the experiment counted
+    # must have been recorded by the cancellation loop's own counter.
+    assert counters.get("cancellation.iterations", 0) == iters_total
+    assert counters.get("residual.rebuilds", 0) >= count

@@ -29,3 +29,24 @@ def record_table():
         return out
 
     return _record
+
+
+@pytest.fixture
+def counter_snapshots():
+    """Run a callable under a telemetry session, returning its result plus
+    the counter snapshot for that run.
+
+    Benchmarks use this to cross-check an experiment's self-reported table
+    against what the solver-work counters actually recorded (e.g. E5's
+    iteration totals vs the ``cancellation.iterations`` counter) — and to
+    persist the counters next to the table for later inspection.
+    """
+
+    def _run(fn, *args, **kwargs):
+        from repro import obs
+
+        with obs.session(label="benchmark") as tel:
+            result = fn(*args, **kwargs)
+        return result, dict(tel.counters)
+
+    return _run

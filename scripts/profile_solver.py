@@ -1,24 +1,31 @@
 #!/usr/bin/env python
 """Profile the solver on a seeded workload — the guides' "no optimization
-without measuring" entry point.
+without measuring" entry point, rewired onto the telemetry layer.
 
-    python scripts/profile_solver.py [--n 14] [--instances 5] [--eps 0.5]
+    PYTHONPATH=src python scripts/profile_solver.py [--n 14] [--instances 5]
+        [--eps 0.5] [--phase1 lp_rounding] [--top 15]
+        [--trace out.jsonl] [--cprofile]
 
-Prints per-phase wall-clock (from the solver's own timers) plus the
-cProfile top functions, so regressions in the LP layer vs the search layer
-vs bookkeeping are immediately attributable.
+The whole run executes inside one :func:`repro.obs.session`, so the output
+is the same report ``repro trace`` renders: phase-time breakdown over the
+root spans, the hot-span *tree* (who spends the time, and under whom —
+ratio-LP solves inside the bicameral sweep vs the flow LP inside the lower
+bound), and the solver-work counters. That replaces the old raw cProfile
+dump as the default view; pass ``--cprofile`` to additionally print the
+classic top-functions table when you need line-level attribution, and
+``--trace out.jsonl`` to keep the machine-readable trace for later
+``repro trace`` / ``repro trace --json`` runs.
 """
 
 from __future__ import annotations
 
 import argparse
-import cProfile
-import io
-import pstats
 
+from repro import obs
 from repro.core import solve_krsp
 from repro.errors import ReproError
 from repro.eval.workloads import er_anticorrelated
+from repro.obs.report import Trace, render_report
 
 
 def main() -> int:
@@ -27,7 +34,12 @@ def main() -> int:
     parser.add_argument("--instances", type=int, default=5)
     parser.add_argument("--eps", type=float, default=None)
     parser.add_argument("--phase1", default="lp_rounding")
-    parser.add_argument("--top", type=int, default=15)
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the hot-span tree")
+    parser.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                        help="also write the telemetry trace here")
+    parser.add_argument("--cprofile", action="store_true",
+                        help="additionally print the cProfile top functions")
     args = parser.parse_args()
 
     instances = list(
@@ -37,36 +49,45 @@ def main() -> int:
         print("workload emitted no instances; change parameters")
         return 1
 
-    phase_totals: dict[str, float] = {}
-    profiler = cProfile.Profile()
+    profiler = None
+    if args.cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+
     solved = 0
-    profiler.enable()
-    for inst in instances:
-        try:
-            sol = solve_krsp(
-                inst.graph,
-                inst.s,
-                inst.t,
-                inst.k,
-                inst.delay_bound,
-                phase1=args.phase1,
-                eps=args.eps,
-            )
-        except ReproError:
-            continue
-        solved += 1
-        for name, secs in sol.timings.items():
-            phase_totals[name] = phase_totals.get(name, 0.0) + secs
-    profiler.disable()
+    with obs.session(trace_path=args.trace, label="profile_solver") as tel:
+        for inst in instances:
+            try:
+                solve_krsp(
+                    inst.graph,
+                    inst.s,
+                    inst.t,
+                    inst.k,
+                    inst.delay_bound,
+                    phase1=args.phase1,
+                    eps=args.eps,
+                )
+            except ReproError:
+                continue
+            solved += 1
+
+    if profiler is not None:
+        profiler.disable()
 
     print(f"solved {solved}/{len(instances)} instances\n")
-    print("solver-phase wall clock (s):")
-    for name, secs in sorted(phase_totals.items(), key=lambda kv: -kv[1]):
-        print(f"  {name:<14} {secs:8.3f}")
-    print()
-    stream = io.StringIO()
-    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(args.top)
-    print(stream.getvalue())
+    print(render_report(Trace.from_session(tel), top=args.top))
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+
+    if profiler is not None:
+        import io
+        import pstats
+
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(15)
+        print(stream.getvalue())
     return 0
 
 

@@ -17,6 +17,11 @@ Commands
     time budget: replay the regression corpus, stream adversarial
     instances through every solver vs the exact MILP, shrink and persist
     any reproducer, and emit a JSON report for CI.
+``trace``
+    Render (or ``--validate``) a JSONL telemetry trace written by
+    ``solve --trace`` / ``fuzz --trace``: phase-time breakdown, hot-span
+    tree, counters, and the per-iteration cancellation table. See
+    ``docs/OBSERVABILITY.md``.
 
 Examples
 --------
@@ -25,6 +30,9 @@ Examples
     python -m repro generate --family er --n 16 --seed 7 -o inst.json
     python -m repro solve inst.json
     python -m repro solve inst.json --eps 0.25 --phase1 lagrangian
+    python -m repro solve inst.json --trace out.jsonl
+    python -m repro trace out.jsonl
+    python -m repro trace out.jsonl --validate
     python -m repro experiment e1
     python -m repro fuzz --budget 30 --seed 0 --report fuzz.json
 """
@@ -32,10 +40,12 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.krsp import solve_krsp
 from repro.errors import ReproError
 from repro.eval.experiments import EXPERIMENTS
@@ -51,11 +61,19 @@ def _load_instance(path: str):
 def cmd_solve(args: argparse.Namespace) -> int:
     g, s, t, k, bound = _load_instance(args.instance)
     eps = args.eps if args.eps else None
+    session = (
+        obs.session(trace_path=args.trace, label=f"solve {args.instance}")
+        if args.trace
+        else contextlib.nullcontext()
+    )
     try:
-        sol = solve_krsp(g, s, t, k, bound, phase1=args.phase1, eps=eps)
+        with session:
+            sol = solve_krsp(g, s, t, k, bound, phase1=args.phase1, eps=eps)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace:
+        print(f"trace written to {args.trace}")
     print(f"cost={sol.cost} delay={sol.delay} (budget {bound}, "
           f"feasible={sol.delay_feasible}) iterations={sol.iterations}")
     if sol.cost_lower_bound is not None:
@@ -179,13 +197,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         replay_corpus=not args.no_replay,
         shrink_failures=not args.no_shrink,
     )
+    session = (
+        obs.session(trace_path=args.trace, label="fuzz")
+        if args.trace
+        else contextlib.nullcontext()
+    )
     try:
-        report = run_fuzz(config)
+        with session:
+            report = run_fuzz(config)
     except (ReproError, json.JSONDecodeError) as exc:
         print(f"error: corrupt corpus entry under {corpus_dir}: {exc}",
               file=sys.stderr)
         return 2
     d = report.as_dict()
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if args.report:
         write_report(report, args.report)
     print(f"fuzz: {d['instances_checked']} instances "
@@ -204,6 +230,34 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_trace, render_report, report_json, validate_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load trace {args.trace_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.validate:
+        problems = validate_trace(trace)
+        if problems:
+            print(f"INVALID: {len(problems)} problem(s) in {args.trace_file}",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"valid: {args.trace_file} (schema {trace.header.get('schema')}, "
+              f"{len(trace.spans)} spans, {len(trace.events)} events, "
+              f"{len(trace.counters)} counters)")
+        return 0
+    if args.json:
+        print(json.dumps(report_json(trace, top=args.top), indent=2, sort_keys=True))
+    else:
+        print(render_report(trace, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="kRSP bifactor approximation (SPAA 2015)"
@@ -218,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the (1+eps, 2+eps) polynomial variant")
     p_solve.add_argument("--verify", action="store_true",
                          help="independently audit the returned solution")
+    p_solve.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                         help="record a telemetry trace (spans, counters, "
+                              "events) to this JSONL file; inspect with "
+                              "`repro trace OUT.JSONL`")
     p_solve.set_defaults(func=cmd_solve)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter-grid sweep")
@@ -269,7 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save crashers unminimized")
     p_fuzz.add_argument("--report", default=None,
                         help="write a machine-readable JSON report here")
+    p_fuzz.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                        help="record a telemetry trace of the whole fuzz "
+                             "run to this JSONL file")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_trace = sub.add_parser(
+        "trace", help="render or validate a JSONL telemetry trace"
+    )
+    p_trace.add_argument("trace_file", help="trace JSONL path "
+                                            "(from solve/fuzz --trace)")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="schema-validate instead of rendering; exit 1 "
+                              "on any problem")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report JSON")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the hot-span tree (default 10)")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

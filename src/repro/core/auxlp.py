@@ -31,6 +31,7 @@ import numpy as np
 import scipy.optimize
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.auxgraph import AuxGraph
 from repro.core.bicameral import CandidateCycle
 from repro.core.cycle_decompose import split_closed_walk
@@ -83,13 +84,16 @@ def solve_ratio_lp(aux: AuxGraph, cost_sign: int) -> np.ndarray | None:
     # caller as cost-0 negative-delay cycles — i.e. type-0 candidates.
     ub = np.full(h.m, MASS_CAP)
     ub[other] = 0.0
-    res = scipy.optimize.linprog(
-        c=h.delay.astype(np.float64),
-        A_eq=A_eq,
-        b_eq=b_eq,
-        bounds=np.stack([np.zeros(h.m), ub], axis=1),
-        method="highs",
-    )
+    with obs.span("lp.ratio_lp"):
+        res = scipy.optimize.linprog(
+            c=h.delay.astype(np.float64),
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=np.stack([np.zeros(h.m), ub], axis=1),
+            method="highs",
+        )
+    obs.inc("lp.ratio_lp.solves")
+    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:
         return None
     if not res.success:
@@ -203,15 +207,18 @@ def solve_lp6(aux: AuxGraph, delta_d: int) -> np.ndarray | None:
     h = aux.graph
     A_eq = incidence_matrix(h)
     b_eq = np.zeros(h.n)
-    res = scipy.optimize.linprog(
-        c=h.cost.astype(np.float64),
-        A_ub=sp.csr_matrix(h.delay.astype(np.float64)[None, :]),
-        b_ub=np.array([float(delta_d)]),
-        A_eq=A_eq,
-        b_eq=b_eq,
-        bounds=(0.0, MASS_CAP),
-        method="highs",
-    )
+    with obs.span("lp.lp6"):
+        res = scipy.optimize.linprog(
+            c=h.cost.astype(np.float64),
+            A_ub=sp.csr_matrix(h.delay.astype(np.float64)[None, :]),
+            b_ub=np.array([float(delta_d)]),
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=(0.0, MASS_CAP),
+            method="highs",
+        )
+    obs.inc("lp.lp6.solves")
+    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:
         return None
     if not res.success:

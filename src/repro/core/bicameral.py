@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import obs
 from repro._util.intmath import ratio_cmp
 
 
@@ -159,8 +160,13 @@ def select_candidate(
     t1_shaped = [c for c in candidates if c.delay < 0 and c.cost > 0]
     t2_shaped = [c for c in candidates if c.delay >= 0 and c.cost < 0]
     if cost_cap is not None:
+        shaped = len(t1_shaped) + len(t2_shaped)
         t1_shaped = [c for c in t1_shaped if c.cost <= cost_cap]
         t2_shaped = [c for c in t2_shaped if -c.cost <= cost_cap]
+        obs.add(
+            "bicameral.rejected_by_cost_cap",
+            shaped - len(t1_shaped) - len(t2_shaped),
+        )
 
     best1 = None
     for c in t1_shaped:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 
+from repro import obs
 from repro.core.bicameral import CycleType, select_candidate
 from repro.core.instance import KRSPInstance, PathSet
 from repro.core.residual import apply_residual_cycles, build_residual
@@ -52,7 +53,11 @@ DEFAULT_MAX_ITERATIONS = 10_000
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """One cancellation step, for E5's Lemma 12 audit."""
+    """One cancellation step, for E5's Lemma 12 audit.
+
+    The in-memory compat view; under an active :func:`repro.obs.session`
+    the same state is emitted as a ``cancel.iteration`` event, which is
+    the trace-level source of truth (``repro trace`` renders it)."""
 
     iteration: int
     cycle_type: CycleType
@@ -197,6 +202,7 @@ def cancel_to_feasibility(
                 type2_only_if_no_type1=opt_cost is None,
             )
         if picked is None:
+            obs.inc("cancellation.no_cycle_infeasible")
             raise InfeasibleInstanceError(
                 "delay bound violated but the residual graph contains no "
                 "bicameral cycle (Algorithm 1 step 2(a))"
@@ -227,6 +233,21 @@ def cancel_to_feasibility(
                 r_value=r_before,
             )
         )
+        obs.inc("cancellation.iterations")
+        obs.inc(f"cancellation.applied.{ctype.name.lower()}")
+        obs.emit(
+            "cancel.iteration",
+            iteration=result.iterations,
+            cycle_type=ctype.name,
+            cycle_cost=cycle.cost,
+            cycle_delay=cycle.delay,
+            cycle_edges=len(cycle.edges),
+            solution_edges=len(new_sol.edge_ids),
+            cost_after=new_sol.cost,
+            delay_after=new_sol.delay,
+            delay_bound=D,
+            r_value=None if r_before is None else str(r_before),
+        )
 
         if strict_monitor and r_before is not None:
             r_after = _r_value(D, cost_bound, new_sol)
@@ -246,4 +267,11 @@ def cancel_to_feasibility(
         result.solution = sol
 
     result.solution = sol
+    obs.emit(
+        "cancel.done",
+        iterations=result.iterations,
+        cost=sol.cost,
+        delay=sol.delay,
+        delay_bound=D,
+    )
     return result

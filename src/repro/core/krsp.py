@@ -19,6 +19,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro import obs
 from repro._util.timer import Timer
 from repro.core.cancellation import (
     DEFAULT_MAX_ITERATIONS,
@@ -67,6 +68,11 @@ class KRSPSolution:
         Whether Theorem-4 scaling was applied.
     timings:
         Wall-clock seconds per phase.
+    counters:
+        Telemetry counter snapshot for this solve (Dijkstra pops, LP
+        solves, cancellation iterations, ... — see docs/OBSERVABILITY.md).
+        Populated only when a :func:`repro.obs.session` is active; empty
+        otherwise (the disabled fast path records nothing).
     """
 
     paths: list[list[int]]
@@ -80,6 +86,7 @@ class KRSPSolution:
     provider: str = ""
     scaled: bool = False
     timings: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 def _cost_cap_upper_bound(inst: KRSPInstance) -> int | None:
@@ -143,7 +150,39 @@ def solve_krsp(
     InfeasibleInstanceError
         When no ``k`` disjoint delay-feasible paths exist.
     """
-    timer = Timer()
+    if obs.enabled():
+        # Nest a per-solve session under whatever is tracing (CLI trace,
+        # fuzz run, eval harness) so each solution carries its own counter
+        # snapshot while outer sessions still see the aggregate.
+        with obs.session(label="solve_krsp") as tel:
+            sol = _solve_krsp_impl(
+                g, s, t, k, delay_bound, phase1, eps, b_max,
+                max_iterations, opt_cost, strict_monitor, finder,
+            )
+        sol.counters = dict(tel.counters)
+        return sol
+    return _solve_krsp_impl(
+        g, s, t, k, delay_bound, phase1, eps, b_max,
+        max_iterations, opt_cost, strict_monitor, finder,
+    )
+
+
+def _solve_krsp_impl(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    phase1: str,
+    eps: tuple[float, float] | float | None,
+    b_max: int | None,
+    max_iterations: int,
+    opt_cost: int | None,
+    strict_monitor: bool,
+    finder: str,
+) -> KRSPSolution:
+    """The pipeline body of :func:`solve_krsp` (telemetry-agnostic)."""
+    timer = Timer(span_prefix="krsp")
     inst = KRSPInstance(graph=g, s=s, t=t, k=k, delay_bound=delay_bound)
 
     with timer.section("feasibility"):
@@ -232,6 +271,19 @@ def solve_krsp(
         # unscaled-provider bound survives, so drop it.
         lb = None
 
+    obs.inc("krsp.solves")
+    obs.gauge("krsp.cost", cost)
+    obs.gauge("krsp.delay", delay)
+    obs.emit(
+        "solve.result",
+        cost=cost,
+        delay=delay,
+        delay_bound=delay_bound,
+        feasible=delay <= delay_bound,
+        iterations=result.iterations,
+        provider=p1.provider,
+        scaled=scaled,
+    )
     return KRSPSolution(
         paths=final_paths,
         cost=cost,

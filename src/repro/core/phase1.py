@@ -35,6 +35,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro import obs
 from repro.core.instance import KRSPInstance, PathSet
 from repro.errors import InfeasibleInstanceError, SolverError
 from repro.flow.decompose import decompose_flow, strip_improving_cycles
@@ -71,6 +72,7 @@ def _paths_from_mask(inst: KRSPInstance, mask: np.ndarray) -> PathSet:
     return inst.path_set(paths)
 
 
+@obs.span("phase1.minsum")
 def phase1_minsum(inst: KRSPInstance) -> Phase1Result:
     """Min-cost k disjoint paths, delay-oblivious (cost <= C_OPT)."""
     res = min_cost_k_flow(inst.graph, inst.s, inst.t, inst.k, weight=inst.graph.cost)
@@ -85,6 +87,7 @@ def phase1_minsum(inst: KRSPInstance) -> Phase1Result:
     )
 
 
+@obs.span("phase1.lp_rounding")
 def phase1_lp_rounding(inst: KRSPInstance) -> Phase1Result:
     """The paper's phase 1 ([9], Lemma 5): LP + score-monotone rounding."""
     g = inst.graph
@@ -103,6 +106,7 @@ def phase1_lp_rounding(inst: KRSPInstance) -> Phase1Result:
     return Phase1Result(solution=sol, cost_lower_bound=lb, provider="lp_rounding")
 
 
+@obs.span("phase1.lagrangian")
 def phase1_lagrangian(inst: KRSPInstance, max_iterations: int = 60) -> Phase1Result:
     """LARAC over k-flows: returns the cheap crossing flow (cost <= C_OPT).
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 
@@ -49,6 +50,7 @@ class ResidualGraph:
 
 def build_residual(g: DiGraph, solution_edges) -> ResidualGraph:
     """Residual graph of ``g`` with respect to solution edge set (Def. 6)."""
+    obs.inc("residual.rebuilds")
     mask = np.zeros(g.m, dtype=bool)
     idx = np.asarray(list(solution_edges), dtype=np.int64)
     if len(idx):

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.auxgraph import build_aux_shifted
 from repro.core.auxlp import candidates_from_circulation, solve_ratio_lp
 from repro.core.bicameral import CandidateCycle, CycleType, classify
@@ -44,6 +45,36 @@ class SearchStats:
     b_values: list[int] = field(default_factory=list)
     candidates: int = 0
     short_circuited_type0: bool = False
+
+    def _snapshot(self) -> tuple[int, int, int, int, int]:
+        """Cumulative fields, for delta-flushing into obs counters (the
+        same stats object is shared across cancellation iterations)."""
+        return (
+            self.bf_probes,
+            self.lp_solves,
+            self.aux_nodes_built,
+            self.aux_edges_built,
+            len(self.b_values),
+        )
+
+    def _flush_delta(self, before: tuple[int, int, int, int, int]) -> None:
+        """Emit the change since ``before`` as search.* counters."""
+        after = self._snapshot()
+        for name, b, a in zip(
+            (
+                "search.bf_probes",
+                "search.lp_solves",
+                "search.aux_nodes",
+                "search.aux_edges",
+                "search.sweep_levels",
+            ),
+            before,
+            after,
+        ):
+            obs.add(name, a - b)
+        obs.add("bicameral.cycles_found", self.candidates)
+        if self.short_circuited_type0:
+            obs.inc("search.type0_short_circuits")
 
 
 def _probe_candidates(residual: ResidualGraph, stats: SearchStats) -> list[CandidateCycle]:
@@ -81,6 +112,44 @@ def _has_type0(candidates: list[CandidateCycle]) -> bool:
 
 
 def find_bicameral_cycle(
+    residual: ResidualGraph,
+    delta_d: int,
+    delta_c_estimate: int | None,
+    cost_cap: int | None,
+    b_max: int | None = None,
+    stats: SearchStats | None = None,
+    fallback: str = "type1_first",
+    delta_c_soft: int | None = None,
+    type2_only_if_no_type1: bool = False,
+) -> tuple[CandidateCycle, CycleType] | None:
+    """Search-and-select with early stopping (the production path).
+
+    Telemetry: runs under a ``search.bicameral`` span and flushes the
+    per-call work (probes, LP solves, aux-graph sizes, candidates found)
+    into ``search.*`` / ``bicameral.*`` counters on exit. Documented in
+    detail on :func:`_find_bicameral_cycle_impl`.
+    """
+    stats = stats if stats is not None else SearchStats()
+    stats.short_circuited_type0 = False
+    before = stats._snapshot()
+    with obs.span("search.bicameral"):
+        try:
+            return _find_bicameral_cycle_impl(
+                residual,
+                delta_d,
+                delta_c_estimate,
+                cost_cap,
+                b_max=b_max,
+                stats=stats,
+                fallback=fallback,
+                delta_c_soft=delta_c_soft,
+                type2_only_if_no_type1=type2_only_if_no_type1,
+            )
+        finally:
+            stats._flush_delta(before)
+
+
+def _find_bicameral_cycle_impl(
     residual: ResidualGraph,
     delta_d: int,
     delta_c_estimate: int | None,
@@ -259,6 +328,21 @@ def find_bicameral_candidates(
     cycle — Algorithm 1 step 2(a) declares the instance infeasible).
     """
     stats = stats if stats is not None else SearchStats()
+    stats.short_circuited_type0 = False
+    before = stats._snapshot()
+    with obs.span("search.candidates_full"):
+        try:
+            return _find_bicameral_candidates_impl(residual, b_max, stats)
+        finally:
+            stats._flush_delta(before)
+
+
+def _find_bicameral_candidates_impl(
+    residual: ResidualGraph,
+    b_max: int | None,
+    stats: SearchStats,
+) -> list[CandidateCycle]:
+    """Body of :func:`find_bicameral_candidates` (telemetry-agnostic)."""
     g = residual.graph
     candidates = _probe_candidates(residual, stats)
     if _has_type0(candidates):
@@ -325,10 +409,29 @@ def find_bicameral_candidates_paper(
     doubling sweep up to ``sum |c|``; ``anchors`` defaults to
     :func:`reversed_edge_anchors`.
     """
+    stats = stats if stats is not None else SearchStats()
+    stats.short_circuited_type0 = False
+    before = stats._snapshot()
+    with obs.span("search.paper_literal"):
+        try:
+            return _find_bicameral_candidates_paper_impl(
+                residual, delta_d, b_values, anchors, stats
+            )
+        finally:
+            stats._flush_delta(before)
+
+
+def _find_bicameral_candidates_paper_impl(
+    residual: ResidualGraph,
+    delta_d: int,
+    b_values: list[int] | None,
+    anchors: list[int] | None,
+    stats: SearchStats,
+) -> list[CandidateCycle]:
+    """Body of :func:`find_bicameral_candidates_paper`."""
     from repro.core.auxgraph import build_aux_paper
     from repro.core.auxlp import solve_lp6
 
-    stats = stats if stats is not None else SearchStats()
     g = residual.graph
     if anchors is None:
         anchors = reversed_edge_anchors(residual)

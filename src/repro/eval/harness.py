@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro import obs
 from repro.errors import ReproError
 from repro.eval.workloads import WorkloadInstance
 
@@ -32,6 +33,7 @@ class TrialRecord:
     delay: int | None = None
     seconds: float = 0.0
     extra: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 #: A solver adapter: (instance) -> (cost, delay, extra-dict).
@@ -43,22 +45,28 @@ def run_trials(
     solvers: dict[str, SolverFn],
 ) -> list[TrialRecord]:
     """Run every solver on every instance; failures become records, not
-    crashes (a baseline dying on an instance is a data point)."""
+    crashes (a baseline dying on an instance is a data point).
+
+    Each trial runs inside its own telemetry session, so every record
+    carries the solver-work counters (Dijkstra pops, LP solves, cancellation
+    iterations, ...) for exactly that execution.
+    """
     records: list[TrialRecord] = []
     for inst in instances:
         for name, fn in solvers.items():
             start = time.perf_counter()
-            try:
-                cost, delay, extra = fn(inst)
-                status = "ok"
-            except ReproError as exc:
-                cost = delay = None
-                extra = {"error": f"{type(exc).__name__}: {exc}"}
-                status = (
-                    "infeasible"
-                    if type(exc).__name__ == "InfeasibleInstanceError"
-                    else "error"
-                )
+            with obs.session(label=f"trial {name}") as tel:
+                try:
+                    cost, delay, extra = fn(inst)
+                    status = "ok"
+                except ReproError as exc:
+                    cost = delay = None
+                    extra = {"error": f"{type(exc).__name__}: {exc}"}
+                    status = (
+                        "infeasible"
+                        if type(exc).__name__ == "InfeasibleInstanceError"
+                        else "error"
+                    )
             seconds = time.perf_counter() - start
             records.append(
                 TrialRecord(
@@ -74,6 +82,7 @@ def run_trials(
                     delay=delay,
                     seconds=seconds,
                     extra=extra,
+                    counters=dict(tel.counters),
                 )
             )
     return records

@@ -16,6 +16,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.graph.digraph import DiGraph
 
 
@@ -97,6 +98,7 @@ def max_disjoint_paths(
                 used[e] = False
                 v = int(head[e])
         value += 1
+    obs.add("maxflow.augmentations", value)
     return used
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro._util.heap import AddressableHeap
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
@@ -75,68 +76,105 @@ def min_cost_k_flow(
     pi = np.zeros(g.n, dtype=np.int64)
     out_starts, out_eids = g.out_csr()
     in_starts, in_eids = g.in_csr()
-    tail, head = g.tail, g.head
 
-    for _ in range(k):
-        # Dijkstra on the residual graph under reduced weights.
-        dist = np.full(g.n, INF, dtype=np.int64)
-        # pred packs (edge, direction): +e+1 forward, -(e+1) backward.
-        pred = np.zeros(g.n, dtype=np.int64)
-        dist[s] = 0
-        heap = AddressableHeap(g.n)
-        heap.push(s, 0)
-        done = np.zeros(g.n, dtype=bool)
-        while heap:
-            u, du = heap.pop()
-            done[u] = True
-            for e in out_eids[out_starts[u] : out_starts[u + 1]]:
-                e = int(e)
-                if used[e]:
-                    continue
-                v = int(head[e])
-                if done[v]:
-                    continue
-                red = int(w[e]) + int(pi[u]) - int(pi[v])
-                if red < 0:
-                    raise GraphError("negative reduced weight — potentials corrupt")
-                nd = du + red
-                if nd < dist[v]:
-                    dist[v] = nd
-                    pred[v] = e + 1
-                    heap.push_or_decrease(v, nd)
-            for e in in_eids[in_starts[u] : in_starts[u + 1]]:
-                e = int(e)
-                if not used[e]:
-                    continue
-                v = int(tail[e])
-                if done[v]:
-                    continue
-                red = -int(w[e]) + int(pi[u]) - int(pi[v])
-                if red < 0:
-                    raise GraphError("negative reduced weight — potentials corrupt")
-                nd = du + red
-                if nd < dist[v]:
-                    dist[v] = nd
-                    pred[v] = -(e + 1)
-                    heap.push_or_decrease(v, nd)
-        if dist[t] >= INF:
-            return None  # max flow < k
-        # Update potentials; unreached vertices keep pi via dist capped at
-        # dist[t] (standard trick keeps future reduced weights valid).
-        dt = int(dist[t])
-        pi = pi + np.minimum(dist, dt)
-        # Augment along pred.
-        v = t
-        while v != s:
-            p = int(pred[v])
-            if p > 0:
-                e = p - 1
-                used[e] = True
-                v = int(tail[e])
-            else:
-                e = -p - 1
-                used[e] = False
-                v = int(head[e])
+    # Work counters accumulate locally; one flush on every exit path keeps
+    # the telemetry-disabled cost inside the loops to bare integer adds.
+    augmentations = 0
+    pops = 0
+    try:
+        for _ in range(k):
+            augmented, round_pops, pi = _augment_once(
+                g, s, t, w, used, pi, out_starts, out_eids, in_starts, in_eids
+            )
+            pops += round_pops
+            if not augmented:
+                return None  # max flow < k
+            augmentations += 1
+    finally:
+        obs.add("mincost.augmentations", augmentations)
+        obs.add("mincost.dijkstra_pops", pops)
 
     total = int(w[np.nonzero(used)[0]].sum())
     return MinCostFlowResult(used=used, weight=total, potentials=pi)
+
+
+def _augment_once(
+    g: DiGraph,
+    s: int,
+    t: int,
+    w: np.ndarray,
+    used: np.ndarray,
+    pi: np.ndarray,
+    out_starts: np.ndarray,
+    out_eids: np.ndarray,
+    in_starts: np.ndarray,
+    in_eids: np.ndarray,
+) -> tuple[bool, int, np.ndarray]:
+    """One successive-shortest-path augmentation; mutates ``used`` in place.
+
+    Returns ``(augmented, dijkstra_pops, new_potentials)``; ``augmented`` is
+    False when ``t`` is unreachable in the residual (max flow exhausted).
+    """
+    tail, head = g.tail, g.head
+    # Dijkstra on the residual graph under reduced weights.
+    dist = np.full(g.n, INF, dtype=np.int64)
+    # pred packs (edge, direction): +e+1 forward, -(e+1) backward.
+    pred = np.zeros(g.n, dtype=np.int64)
+    dist[s] = 0
+    heap = AddressableHeap(g.n)
+    heap.push(s, 0)
+    done = np.zeros(g.n, dtype=bool)
+    pops = 0
+    while heap:
+        u, du = heap.pop()
+        pops += 1
+        done[u] = True
+        for e in out_eids[out_starts[u] : out_starts[u + 1]]:
+            e = int(e)
+            if used[e]:
+                continue
+            v = int(head[e])
+            if done[v]:
+                continue
+            red = int(w[e]) + int(pi[u]) - int(pi[v])
+            if red < 0:
+                raise GraphError("negative reduced weight — potentials corrupt")
+            nd = du + red
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = e + 1
+                heap.push_or_decrease(v, nd)
+        for e in in_eids[in_starts[u] : in_starts[u + 1]]:
+            e = int(e)
+            if not used[e]:
+                continue
+            v = int(tail[e])
+            if done[v]:
+                continue
+            red = -int(w[e]) + int(pi[u]) - int(pi[v])
+            if red < 0:
+                raise GraphError("negative reduced weight — potentials corrupt")
+            nd = du + red
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = -(e + 1)
+                heap.push_or_decrease(v, nd)
+    if dist[t] >= INF:
+        return False, pops, pi  # max flow exhausted
+    # Update potentials; unreached vertices keep pi via dist capped at
+    # dist[t] (standard trick keeps future reduced weights valid).
+    dt = int(dist[t])
+    pi = pi + np.minimum(dist, dt)
+    # Augment along pred.
+    v = t
+    while v != s:
+        p = int(pred[v])
+        if p > 0:
+            e = p - 1
+            used[e] = True
+            v = int(tail[e])
+        else:
+            e = -p - 1
+            used[e] = False
+            v = int(head[e])
+    return True, pops, pi

@@ -15,6 +15,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 
@@ -63,39 +64,49 @@ def preflow_max_flow(g: DiGraph, s: int, t: int) -> tuple[int, np.ndarray]:
 
     guard = 0
     guard_limit = 4 * n * n * max(m, 1) + 16
-    while active:
-        guard += 1
-        if guard > guard_limit:
-            raise GraphError("push-relabel exceeded its operation bound")
-        u = active.popleft()
-        while excess[u] > 0:
-            pushed = False
-            for e, v, fwd in residual_neighbors(u):
-                if height[u] == height[v] + 1:
-                    used[e] = fwd
-                    excess[u] -= 1
-                    excess[v] += 1
-                    if v not in (s, t) and excess[v] == 1:
-                        active.append(v)
-                    pushed = True
-                    if excess[u] == 0:
-                        break
-            if excess[u] == 0:
-                break
-            if not pushed:
-                # Relabel to one above the lowest residual neighbour. A
-                # vertex holding excess always has a residual edge (the one
-                # the excess arrived on is reversible), and heights stay
-                # below 2n in a correct run — violations are bugs, not
-                # instance properties.
-                floor = None
-                for _, v, _ in residual_neighbors(u):
-                    floor = height[v] if floor is None else min(floor, int(height[v]))
-                if floor is None:
-                    raise GraphError("excess vertex without residual edge")
-                height[u] = floor + 1
-                if height[u] > 2 * n:
-                    raise GraphError("push-relabel height exceeded 2n")
+    # Push/relabel work counters accumulate locally and flush once, keeping
+    # the telemetry-disabled cost in the hot loop to bare integer adds.
+    pushes = 0
+    relabels = 0
+    try:
+        while active:
+            guard += 1
+            if guard > guard_limit:
+                raise GraphError("push-relabel exceeded its operation bound")
+            u = active.popleft()
+            while excess[u] > 0:
+                pushed = False
+                for e, v, fwd in residual_neighbors(u):
+                    if height[u] == height[v] + 1:
+                        used[e] = fwd
+                        excess[u] -= 1
+                        excess[v] += 1
+                        pushes += 1
+                        if v not in (s, t) and excess[v] == 1:
+                            active.append(v)
+                        pushed = True
+                        if excess[u] == 0:
+                            break
+                if excess[u] == 0:
+                    break
+                if not pushed:
+                    # Relabel to one above the lowest residual neighbour. A
+                    # vertex holding excess always has a residual edge (the one
+                    # the excess arrived on is reversible), and heights stay
+                    # below 2n in a correct run — violations are bugs, not
+                    # instance properties.
+                    floor = None
+                    for _, v, _ in residual_neighbors(u):
+                        floor = height[v] if floor is None else min(floor, int(height[v]))
+                    if floor is None:
+                        raise GraphError("excess vertex without residual edge")
+                    height[u] = floor + 1
+                    relabels += 1
+                    if height[u] > 2 * n:
+                        raise GraphError("push-relabel height exceeded 2n")
+    finally:
+        obs.add("preflow.pushes", pushes)
+        obs.add("preflow.relabels", relabels)
 
     value = int(used[np.nonzero(tail == s)[0]].sum()) - int(
         used[np.nonzero(head == s)[0]].sum()

@@ -24,6 +24,7 @@ import numpy as np
 import scipy.optimize
 import scipy.sparse as sp
 
+from repro import obs
 from repro.errors import SolverError
 from repro.graph.digraph import DiGraph
 
@@ -81,16 +82,20 @@ def solve_flow_lp(
     b_eq[s] += k
     b_eq[t] -= k
 
-    res = scipy.optimize.linprog(
-        c=g.cost.astype(np.float64),
-        A_ub=sp.csr_matrix(g.delay.astype(np.float64)[None, :]),
-        b_ub=np.array([float(delay_bound)]),
-        A_eq=A_eq,
-        b_eq=b_eq,
-        bounds=(0.0, 1.0),
-        method="highs-ds",
-    )
+    with obs.span("lp.flow_lp"):
+        res = scipy.optimize.linprog(
+            c=g.cost.astype(np.float64),
+            A_ub=sp.csr_matrix(g.delay.astype(np.float64)[None, :]),
+            b_ub=np.array([float(delay_bound)]),
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=(0.0, 1.0),
+            method="highs-ds",
+        )
+    obs.inc("lp.flow_lp.solves")
+    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:  # infeasible
+        obs.inc("lp.flow_lp.infeasible")
         return None
     if not res.success:
         raise SolverError(f"flow LP failed: status={res.status} {res.message}")

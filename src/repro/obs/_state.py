@@ -1,0 +1,210 @@
+"""Shared session state for the telemetry layer (internal).
+
+One module owns all mutable state so :mod:`repro.obs.spans`,
+:mod:`repro.obs.counters`, and :mod:`repro.obs.events` can stay
+import-cycle free. The design is a *stack of sessions*:
+
+* ``repro.obs.session(...)`` pushes a :class:`Telemetry` collector;
+  nested sessions stack (e.g. the CLI's trace session around the
+  solver's per-solve session), and every record is delivered to **all**
+  active collectors, so an outer session always sees the union of the
+  work done under it.
+* When the stack is empty, every recording entry point returns
+  immediately — the no-op fast path that keeps the instrumented hot
+  paths free when tracing is disabled.
+
+Sequence numbers are process-global and monotonic, which gives spans and
+events a total order that survives interleaving across nested sessions.
+Wall-clock values are never part of the determinism contract; counters
+and event payloads are (same seed + instance ⇒ identical values).
+
+Everything here is stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+#: Version of the JSONL trace schema written by :meth:`Telemetry.write_trace`
+#: and checked by :func:`repro.obs.report.validate_trace`.
+TRACE_SCHEMA = 1
+
+_SEQ = itertools.count(1)
+_LOCK = threading.Lock()
+
+#: Active collectors, innermost last. Read without the lock on the hot
+#: path (list reads are atomic under the GIL); mutated under the lock.
+_SESSIONS: list["Telemetry"] = []
+
+
+class _SpanStack(threading.local):
+    """Per-thread stack of currently open span ids (parent linkage)."""
+
+    def __init__(self) -> None:
+        self.open: list[int] = []
+
+
+SPAN_STACK = _SpanStack()
+
+
+def next_seq() -> int:
+    """Next process-global monotonic sequence number."""
+    return next(_SEQ)
+
+
+def enabled() -> bool:
+    """True when at least one telemetry session is collecting."""
+    return bool(_SESSIONS)
+
+
+def current() -> "Telemetry | None":
+    """The innermost active session, or ``None``."""
+    return _SESSIONS[-1] if _SESSIONS else None
+
+
+def push(tel: "Telemetry") -> None:
+    with _LOCK:
+        _SESSIONS.append(tel)
+
+
+def pop(tel: "Telemetry") -> None:
+    with _LOCK:
+        try:
+            _SESSIONS.remove(tel)
+        except ValueError:  # pragma: no cover - misnested teardown
+            pass
+
+
+class Telemetry:
+    """One capture session: counters, gauges, closed spans, events.
+
+    Obtained from :func:`repro.obs.session`; read after (or during) the
+    ``with`` block. All attributes are plain data:
+
+    ``counters``
+        name -> accumulated int (deterministic for a fixed workload).
+    ``gauges``
+        name -> last value set (floats; last-write-wins).
+    ``spans``
+        closed :class:`repro.obs.spans.SpanRecord` objects, close order.
+    ``events``
+        structured event dicts (``kind``, ``seq``, payload fields).
+    """
+
+    def __init__(
+        self, trace_path: str | Path | None = None, label: str | None = None
+    ) -> None:
+        self.label = label
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.spans: list[Any] = []
+        self.events: list[dict[str, Any]] = []
+        self.started = time.perf_counter()
+        self.wall_seconds = 0.0
+
+    # -- recording (called by the obs.* helper functions) -----------------
+
+    def add_counter(self, name: str, n: int) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- aggregation ------------------------------------------------------
+
+    def span_totals(self) -> dict[str, tuple[float, int]]:
+        """Aggregate closed spans: name -> (total seconds, count)."""
+        out: dict[str, tuple[float, int]] = {}
+        for s in self.spans:
+            tot, cnt = out.get(s.name, (0.0, 0))
+            out[s.name] = (tot + s.duration, cnt + 1)
+        return out
+
+    def phase_times(self, prefix: str = "") -> dict[str, float]:
+        """Total seconds per span name, optionally filtered by ``prefix``
+        (which is stripped from the returned keys)."""
+        out: dict[str, float] = {}
+        for name, (tot, _) in self.span_totals().items():
+            if name.startswith(prefix):
+                key = name[len(prefix):]
+                out[key] = out.get(key, 0.0) + tot
+        return out
+
+    def finish(self) -> None:
+        """Seal the session: fix wall time and flush the trace file."""
+        self.wall_seconds = time.perf_counter() - self.started
+        if self.trace_path is not None:
+            self.write_trace(self.trace_path)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable summary (the fuzz report's telemetry block)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "label": self.label,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "span_seconds": {
+                name: round(tot, 6)
+                for name, (tot, _) in sorted(self.span_totals().items())
+            },
+            "span_counts": {
+                name: cnt for name, (_, cnt) in sorted(self.span_totals().items())
+            },
+            "events": len(self.events),
+        }
+
+    # -- trace serialization ----------------------------------------------
+
+    def trace_lines(self) -> list[dict[str, Any]]:
+        """The session as JSONL-ready dicts (see docs/OBSERVABILITY.md)."""
+        lines: list[dict[str, Any]] = [
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "tool": "repro-obs",
+                "label": self.label,
+            }
+        ]
+        for s in sorted(self.spans, key=lambda s: s.seq):
+            lines.append(
+                {
+                    "type": "span",
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "seq": s.seq,
+                    "name": s.name,
+                    "start": round(s.start - self.started, 9),
+                    "dur": round(s.duration, 9),
+                }
+            )
+        for ev in self.events:
+            lines.append({"type": "event", **ev})
+        lines.append(
+            {"type": "counters", "values": dict(sorted(self.counters.items()))}
+        )
+        lines.append({"type": "gauges", "values": dict(sorted(self.gauges.items()))})
+        lines.append(
+            {
+                "type": "summary",
+                "wall_seconds": round(
+                    self.wall_seconds
+                    or (time.perf_counter() - self.started),
+                    9,
+                ),
+                "spans": len(self.spans),
+                "events": len(self.events),
+            }
+        )
+        return lines
+
+    def write_trace(self, path: str | Path) -> None:
+        """Serialize the session as one JSON object per line."""
+        text = "\n".join(json.dumps(line) for line in self.trace_lines())
+        Path(path).write_text(text + "\n")

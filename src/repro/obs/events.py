@@ -1,0 +1,54 @@
+"""Structured event sink: the JSONL-ready audit trail of a run.
+
+An *event* is one structured fact about solver progress — most
+importantly ``cancel.iteration``, the per-iteration cancellation state
+(cycle cost/delay and type, the oplus result, current totals, the
+Lemma 12 rate) that supersedes the ad-hoc in-memory ``IterationRecord``
+list as the trace-level source of truth. Events carry only JSON-safe
+payloads (ints, floats, strings, bools, ``None``) so the trace file is
+schema-stable; exact rationals are serialized as ``"num/den"`` strings.
+
+Event kinds in use (schema in docs/OBSERVABILITY.md):
+
+``cancel.iteration``
+    One cycle-cancellation step (Algorithm 1 step 2).
+``cancel.done``
+    Terminal state of the cancellation loop.
+``solve.result``
+    Final totals of one ``solve_krsp`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import _state
+
+_JSON_SAFE = (int, float, str, bool, type(None))
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Record event ``kind`` with ``fields`` on every active session.
+
+    No-op when tracing is disabled. Non-JSON-safe field values are
+    stringified so a trace file can always be written.
+    """
+    sessions = _state._SESSIONS
+    if not sessions:
+        return
+    payload: dict[str, Any] = {"kind": kind, "seq": _state.next_seq()}
+    for key, value in fields.items():
+        payload[key] = value if isinstance(value, _JSON_SAFE) else str(value)
+    for tel in sessions:
+        tel.events.append(payload)
+
+
+def events(kind: str | None = None) -> list[dict[str, Any]]:
+    """Events recorded so far on the innermost session (optionally
+    filtered by ``kind``); ``[]`` when tracing is disabled."""
+    tel = _state.current()
+    if tel is None:
+        return []
+    if kind is None:
+        return list(tel.events)
+    return [ev for ev in tel.events if ev.get("kind") == kind]

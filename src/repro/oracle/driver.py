@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro._util.rng import as_rng
 from repro.errors import ReproError
 from repro.lp.milp import solve_krsp_milp
@@ -94,6 +95,7 @@ class FuzzReport:
     per_substrate: dict[str, int] = field(default_factory=dict)
     per_transform: dict[str, int] = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -113,6 +115,7 @@ class FuzzReport:
             "per_transform": dict(sorted(self.per_transform.items())),
             "failures": [f.as_dict() for f in self.failures],
             "clean": self.clean,
+            "telemetry": self.telemetry,
         }
 
 
@@ -167,7 +170,22 @@ class _Session:
 
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
-    """Run one budgeted fuzz session; see the module docstring."""
+    """Run one budgeted fuzz session; see the module docstring.
+
+    The whole session runs inside an :func:`repro.obs.session`, so the
+    report's ``telemetry`` block always carries solver-work counters
+    (Dijkstra pops, LP solves, cancellation iterations, ...) aggregated
+    over every instance checked — the CI-facing summary of how much work
+    the oracle actually exercised.
+    """
+    with obs.session(label="fuzz") as tel:
+        report = _run_fuzz_impl(config)
+    report.telemetry = tel.as_dict()
+    return report
+
+
+def _run_fuzz_impl(config: FuzzConfig) -> FuzzReport:
+    """Session body of :func:`run_fuzz` (telemetry-agnostic)."""
     session = _Session(config)
     report = session.report
     start = time.monotonic()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError, NegativeCycleError
 from repro.graph.digraph import DiGraph
 from repro.paths.dijkstra import INF
@@ -79,33 +80,41 @@ def bellman_ford(
     if g.m == 0:
         return dist, pred
     tail, head = g.tail, g.head
-    for round_no in range(g.n):
-        reach = dist[tail] < INF
-        cand = dist[tail[reach]] + w[reach]
-        targets = head[reach]
-        eids = np.nonzero(reach)[0]
-        # Improvements must be applied serially per target to keep pred
-        # consistent; group by target via a scatter-min then one pass.
-        new_dist = dist.copy()
-        np.minimum.at(new_dist, targets, cand)
-        improved_mask = cand < dist[targets]
-        if not improved_mask.any():
-            return dist, pred
-        # For each improved target record one witnessing edge achieving the
-        # scatter-min value.
-        winners = cand == new_dist[targets]
-        pick = improved_mask & winners
-        pred[targets[pick]] = eids[pick]
-        dist = new_dist
-        if round_no == g.n - 1:
-            # Improvement in round n ⇒ negative cycle; trace from any
-            # vertex improved this round.
-            start = int(targets[pick][0])
-            cycle = _trace_cycle(g, pred, start)
-            if int(w[np.asarray(cycle)].sum()) >= 0:
-                raise GraphError("traced a non-negative cycle — corrupt state")
-            raise NegativeCycleError("negative cycle reachable from source", cycle)
-    return dist, pred
+    rounds = 0
+    try:
+        for round_no in range(g.n):
+            rounds += 1
+            reach = dist[tail] < INF
+            cand = dist[tail[reach]] + w[reach]
+            targets = head[reach]
+            eids = np.nonzero(reach)[0]
+            # Improvements must be applied serially per target to keep pred
+            # consistent; group by target via a scatter-min then one pass.
+            new_dist = dist.copy()
+            np.minimum.at(new_dist, targets, cand)
+            improved_mask = cand < dist[targets]
+            if not improved_mask.any():
+                return dist, pred
+            # For each improved target record one witnessing edge achieving
+            # the scatter-min value.
+            winners = cand == new_dist[targets]
+            pick = improved_mask & winners
+            pred[targets[pick]] = eids[pick]
+            dist = new_dist
+            if round_no == g.n - 1:
+                # Improvement in round n ⇒ negative cycle; trace from any
+                # vertex improved this round.
+                start = int(targets[pick][0])
+                cycle = _trace_cycle(g, pred, start)
+                if int(w[np.asarray(cycle)].sum()) >= 0:
+                    raise GraphError("traced a non-negative cycle — corrupt state")
+                obs.inc("bellman_ford.negative_cycles")
+                raise NegativeCycleError(
+                    "negative cycle reachable from source", cycle
+                )
+        return dist, pred
+    finally:
+        obs.add("bellman_ford.rounds", rounds)
 
 
 def find_negative_cycle(
@@ -127,24 +136,30 @@ def find_negative_cycle(
     pred = np.full(g.n, -1, dtype=np.int64)
     tail, head = g.tail, g.head
     eids_all = np.arange(g.m, dtype=np.int64)
-    for round_no in range(g.n):
-        cand = dist[tail] + w
-        new_dist = dist.copy()
-        np.minimum.at(new_dist, head, cand)
-        improved_mask = cand < dist[head]
-        if not improved_mask.any():
-            return None
-        winners = cand == new_dist[head]
-        pick = improved_mask & winners
-        pred[head[pick]] = eids_all[pick]
-        dist = new_dist
-        if round_no == g.n - 1:
-            start = int(head[pick][0])
-            cycle = _trace_cycle(g, pred, start)
-            if int(w[np.asarray(cycle)].sum()) >= 0:
-                raise GraphError("traced a non-negative cycle — corrupt state")
-            return cycle
-    return None
+    rounds = 0
+    try:
+        for round_no in range(g.n):
+            rounds += 1
+            cand = dist[tail] + w
+            new_dist = dist.copy()
+            np.minimum.at(new_dist, head, cand)
+            improved_mask = cand < dist[head]
+            if not improved_mask.any():
+                return None
+            winners = cand == new_dist[head]
+            pick = improved_mask & winners
+            pred[head[pick]] = eids_all[pick]
+            dist = new_dist
+            if round_no == g.n - 1:
+                start = int(head[pick][0])
+                cycle = _trace_cycle(g, pred, start)
+                if int(w[np.asarray(cycle)].sum()) >= 0:
+                    raise GraphError("traced a non-negative cycle — corrupt state")
+                obs.inc("bellman_ford.negative_cycles")
+                return cycle
+        return None
+    finally:
+        obs.add("bellman_ford.rounds", rounds)
 
 
 def negative_cycle_value(g: DiGraph, cycle: list[int], weight: np.ndarray | None = None) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro._util.heap import AddressableHeap
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
@@ -77,8 +78,13 @@ def dijkstra(
     heap = AddressableHeap(g.n)
     dist[source] = 0
     heap.push(source, 0)
+    # Work counters accumulate locally and flush once on exit, so the
+    # telemetry-disabled cost inside the loop is a bare integer add.
+    pops = 0
+    relaxations = 0
     while heap:
         u, du_reduced = heap.pop()
+        pops += 1
         done[u] = True
         if u == target:
             break
@@ -100,9 +106,12 @@ def dijkstra(
                 )
             cand_true = du_true + we
             if cand_true < dist[v]:
+                relaxations += 1
                 dist[v] = cand_true
                 pred[v] = e
                 heap.push_or_decrease(v, du_reduced + red)
+    obs.add("dijkstra.pops", pops)
+    obs.add("dijkstra.relaxations", relaxations)
     return dist, pred
 
 

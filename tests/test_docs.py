@@ -23,6 +23,7 @@ PUBLIC_PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.oracle",
+    "repro.obs",
 ]
 
 
@@ -42,7 +43,7 @@ def test_all_public_names_documented(mod_name):
 @pytest.mark.parametrize(
     "fname",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
-     "docs/API.md", "docs/TESTING.md"],
+     "docs/API.md", "docs/TESTING.md", "docs/OBSERVABILITY.md"],
 )
 def test_top_level_documents_exist(fname):
     path = ROOT / fname
