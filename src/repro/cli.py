@@ -47,11 +47,12 @@ from pathlib import Path
 
 from repro import obs
 from repro.core.krsp import solve_krsp
-from repro.errors import ReproError
+from repro.errors import InfeasibleInstanceError, ReproError
 from repro.eval.experiments import EXPERIMENTS
 from repro.eval.reporting import format_table
 from repro.eval.workloads import interesting_delay_bound
 from repro.graph.io import instance_from_dict, instance_to_dict
+from repro.robustness import SolveBudget
 
 
 def _load_instance(path: str):
@@ -68,23 +69,66 @@ def cmd_solve(args: argparse.Namespace) -> int:
     )
     try:
         with session:
-            sol = solve_krsp(g, s, t, k, bound, phase1=args.phase1, eps=eps)
+            if args.fallback:
+                from repro.robustness import solve_with_fallback
+
+                fb = solve_with_fallback(
+                    g, s, t, k, bound,
+                    deadline_seconds=args.deadline,
+                    phase1=args.phase1,
+                    eps=eps,
+                )
+                paths, cost, delay = fb.paths, fb.cost, fb.delay
+                feasible, status, cert = fb.delay_feasible, fb.status, fb.certificate
+                detail = f"tier={fb.tier} guarantee={fb.guarantee}"
+                lower_bound = None
+            else:
+                budget = (
+                    SolveBudget(deadline_seconds=args.deadline)
+                    if args.deadline is not None
+                    else None
+                )
+                sol = solve_krsp(
+                    g, s, t, k, bound, phase1=args.phase1, eps=eps, budget=budget
+                )
+                paths, cost, delay = sol.paths, sol.cost, sol.delay
+                feasible, status, cert = sol.delay_feasible, sol.status, sol.certificate
+                detail = f"iterations={sol.iterations}"
+                lower_bound = sol.cost_lower_bound
+    except InfeasibleInstanceError as exc:
+        # Exit 2: a property of the *instance*, proven — distinct from
+        # exit 1 (the solve itself failed) so scripts can tell them apart.
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     if args.trace:
         print(f"trace written to {args.trace}")
-    print(f"cost={sol.cost} delay={sol.delay} (budget {bound}, "
-          f"feasible={sol.delay_feasible}) iterations={sol.iterations}")
-    if sol.cost_lower_bound is not None:
-        print(f"certified lower bound on OPT cost: {float(sol.cost_lower_bound):.3f}")
-    for i, path in enumerate(sol.paths, 1):
+    print(f"cost={cost} delay={delay} (budget {bound}, "
+          f"feasible={feasible}) status={status} {detail}")
+    if lower_bound is not None:
+        print(f"certified lower bound on OPT cost: {float(lower_bound):.3f}")
+    if cert is not None and status != "ok":
+        ratio = (
+            f" cost_ratio<={cert.cost_bound_ratio:.3f}"
+            if cert.cost_bound_ratio is not None
+            else ""
+        )
+        elapsed = (
+            f" elapsed={cert.elapsed_seconds:.3f}s"
+            if cert.elapsed_seconds is not None
+            else ""
+        )
+        print(f"certificate: delay_slack={cert.delay_slack}{ratio}"
+              f"{elapsed} reason={cert.exhausted_reason}")
+    for i, path in enumerate(paths, 1):
         hops = [int(g.tail[path[0]])] + [int(g.head[e]) for e in path]
         print(f"path {i}: {hops} cost={g.cost_of(path)} delay={g.delay_of(path)}")
     if args.verify:
         from repro.core.verify import verify_solution
 
-        report = verify_solution(g, s, t, k, bound, sol.paths)
+        report = verify_solution(g, s, t, k, bound, paths)
         status = "clean" if report.clean else f"ISSUES: {report.issues}"
         ratio = (
             f" ratio<= {report.approximation_ratio_upper_bound:.3f}"
@@ -272,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the (1+eps, 2+eps) polynomial variant")
     p_solve.add_argument("--verify", action="store_true",
                          help="independently audit the returned solution")
+    p_solve.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="wall-clock budget in seconds; on exhaustion "
+                              "the best valid solution found is returned "
+                              "with status != ok (anytime semantics)")
+    p_solve.add_argument("--fallback", action="store_true",
+                         help="on tier failure degrade through the chain "
+                              "bicameral -> lp_rounding_2_2 -> "
+                              "greedy_sequential (shares --deadline)")
     p_solve.add_argument("--trace", default=None, metavar="OUT.JSONL",
                          help="record a telemetry trace (spans, counters, "
                               "events) to this JSONL file; inspect with "

@@ -35,9 +35,9 @@ from repro import obs
 from repro.core.auxgraph import AuxGraph
 from repro.core.bicameral import CandidateCycle
 from repro.core.cycle_decompose import split_closed_walk
-from repro.errors import SolverError
+from repro.errors import BudgetExhaustedError, SolverError
 from repro.graph.digraph import DiGraph
-from repro.lp.flow_lp import incidence_matrix
+from repro.lp.flow_lp import incidence_matrix, lp_time_limit_options
 
 #: Mass below this is treated as zero when peeling fractional circulations.
 PEEL_TOL = 1e-7
@@ -84,6 +84,10 @@ def solve_ratio_lp(aux: AuxGraph, cost_sign: int) -> np.ndarray | None:
     # caller as cost-0 negative-delay cycles — i.e. type-0 candidates.
     ub = np.full(h.m, MASS_CAP)
     ub[other] = 0.0
+    # An LP solve is the largest indivisible unit of work in the pipeline;
+    # under an ambient deadline, cap HiGHS's own runtime at the remaining
+    # budget so a single big solve cannot blow past the deadline.
+    options, deadline_capped = lp_time_limit_options()
     with obs.span("lp.ratio_lp"):
         res = scipy.optimize.linprog(
             c=h.delay.astype(np.float64),
@@ -91,11 +95,14 @@ def solve_ratio_lp(aux: AuxGraph, cost_sign: int) -> np.ndarray | None:
             b_eq=b_eq,
             bounds=np.stack([np.zeros(h.m), ub], axis=1),
             method="highs",
+            options=options,
         )
     obs.inc("lp.ratio_lp.solves")
     obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:
         return None
+    if res.status == 1 and deadline_capped:
+        raise BudgetExhaustedError("deadline", "auxlp.ratio_lp")
     if not res.success:
         raise SolverError(f"ratio LP failed: status={res.status} {res.message}")
     return np.maximum(res.x, 0.0)

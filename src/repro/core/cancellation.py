@@ -38,11 +38,13 @@ from repro.core.search import (
     find_bicameral_cycle,
 )
 from repro.errors import (
+    BudgetExhaustedError,
     InfeasibleInstanceError,
     InvariantError,
     IterationLimitError,
 )
 from repro.flow.decompose import decompose_flow, strip_improving_cycles
+from repro.robustness.budget import BudgetMeter
 
 #: Default hard cap on cancellation iterations. The theoretical bound is
 #: ``D * sum(c) * sum(d)`` (Lemma 13) — astronomically loose; measured
@@ -70,11 +72,19 @@ class IterationRecord:
 
 @dataclass
 class CancellationResult:
-    """Outcome of the cancellation phase."""
+    """Outcome of the cancellation phase.
+
+    ``exhausted`` is ``None`` on a normal finish; under a cooperative
+    budget (``meter`` passed) it records why the loop stopped early
+    (``"deadline" | "iterations" | "search_nodes" | "stalled"``) and
+    ``solution`` is then the best valid solution seen — smallest delay,
+    cost as tie-break — rather than a delay-feasible one.
+    """
 
     solution: PathSet
     records: list[IterationRecord] = field(default_factory=list)
     search_stats: SearchStats = field(default_factory=SearchStats)
+    exhausted: str | None = None
 
     @property
     def iterations(self) -> int:
@@ -104,11 +114,18 @@ def cancel_to_feasibility(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     strict_monitor: bool = False,
     finder: str = "production",
+    meter: BudgetMeter | None = None,
 ) -> CancellationResult:
     """Drive ``start`` to delay feasibility via bicameral cancellation.
 
     Parameters
     ----------
+    meter:
+        Armed :class:`repro.robustness.BudgetMeter` for **anytime**
+        semantics: every stopping rule (deadline, iteration caps, search
+        node cap, state repetition) then returns the best valid solution
+        seen with :attr:`CancellationResult.exhausted` set, instead of
+        raising. Without a meter the legacy raising behavior is kept.
     finder:
         ``"production"`` (shifted auxiliary graphs, early-exit sweep) or
         ``"paper_literal"`` (per-anchor ``H_v^{+/-}(B)`` with LP (6) —
@@ -148,13 +165,25 @@ def cancel_to_feasibility(
         cost_bound = cost_lower_bound
 
     seen_states: set[tuple[int, ...]] = {tuple(sorted(sol.edge_ids))}
+    # Best valid solution seen so far (smallest delay, cost tie-break) —
+    # what an exhausted budget hands back instead of raising.
+    best = sol
 
     while sol.delay > D:
         if result.iterations >= max_iterations:
+            if meter is not None:
+                result.exhausted = "iterations"
+                break
             raise IterationLimitError(
                 f"no feasibility after {max_iterations} cancellations "
                 f"(delay {sol.delay} > {D})"
             )
+        if meter is not None:
+            try:
+                meter.check("cancel.loop")
+            except BudgetExhaustedError as exc:
+                result.exhausted = exc.reason
+                break
         r_before = _r_value(D, cost_bound, sol)
 
         residual = build_residual(g, sol.edge_ids)
@@ -169,38 +198,46 @@ def cancel_to_feasibility(
         delta_c_soft: int | None = None
         if cost_cap is not None and cost_cap - sol.cost > 0:
             delta_c_soft = cost_cap - sol.cost
-        if finder == "paper_literal":
-            candidates = find_bicameral_candidates_paper(
-                residual, delta_d, stats=result.search_stats
-            )
-            picked = select_candidate(
-                candidates,
-                delta_d,
-                delta_c_int,
-                cost_cap,
-                type2_only_if_no_type1=opt_cost is None,
-            )
-            if picked is None and delta_c_soft is not None:
+        try:
+            if finder == "paper_literal":
+                candidates = find_bicameral_candidates_paper(
+                    residual, delta_d, stats=result.search_stats, meter=meter
+                )
                 picked = select_candidate(
                     candidates,
                     delta_d,
-                    delta_c_soft,
+                    delta_c_int,
                     cost_cap,
                     type2_only_if_no_type1=opt_cost is None,
                 )
-        else:
-            picked = find_bicameral_cycle(
-                residual,
-                delta_d,
-                delta_c_int,
-                cost_cap,
-                b_max=b_max,
-                stats=result.search_stats,
-                delta_c_soft=delta_c_soft,
-                # With estimated bounds a "certified" type-2 can spuriously
-                # undo the previous type-1 step; rank it behind type-1 then.
-                type2_only_if_no_type1=opt_cost is None,
-            )
+                if picked is None and delta_c_soft is not None:
+                    picked = select_candidate(
+                        candidates,
+                        delta_d,
+                        delta_c_soft,
+                        cost_cap,
+                        type2_only_if_no_type1=opt_cost is None,
+                    )
+            else:
+                picked = find_bicameral_cycle(
+                    residual,
+                    delta_d,
+                    delta_c_int,
+                    cost_cap,
+                    b_max=b_max,
+                    stats=result.search_stats,
+                    delta_c_soft=delta_c_soft,
+                    # With estimated bounds a "certified" type-2 can spuriously
+                    # undo the previous type-1 step; rank it behind type-1 then.
+                    type2_only_if_no_type1=opt_cost is None,
+                    meter=meter,
+                )
+        except BudgetExhaustedError as exc:
+            # A budget can only trip here when a meter was passed; the
+            # partially-searched iteration is abandoned and the best valid
+            # solution so far becomes the answer.
+            result.exhausted = exc.reason
+            break
         if picked is None:
             obs.inc("cancellation.no_cycle_infeasible")
             raise InfeasibleInstanceError(
@@ -216,6 +253,9 @@ def cancel_to_feasibility(
 
         state = tuple(sorted(new_sol.edge_ids))
         if state in seen_states:
+            if meter is not None:
+                result.exhausted = "stalled"
+                break
             raise IterationLimitError(
                 "cancellation revisited a previous solution state — "
                 "rate estimates too loose to guarantee progress"
@@ -265,7 +305,15 @@ def cancel_to_feasibility(
 
         sol = new_sol
         result.solution = sol
+        if (sol.delay, sol.cost) < (best.delay, best.cost):
+            best = sol
+        if meter is not None:
+            meter.iterations_used += 1
 
+    if result.exhausted is not None:
+        # Hand back the closest-to-feasible valid solution, not the
+        # half-applied last state.
+        sol = best
     result.solution = sol
     obs.emit(
         "cancel.done",
@@ -273,5 +321,6 @@ def cancel_to_feasibility(
         cost=sol.cost,
         delay=sol.delay,
         delay_bound=D,
+        exhausted=result.exhausted,
     )
     return result

@@ -30,12 +30,20 @@ from repro.core.cancellation import (
 from repro.core.instance import KRSPInstance, PathSet
 from repro.core.phase1 import PROVIDERS, Phase1Result
 from repro.core.scaling import scale_instance
-from repro.errors import GraphError, InfeasibleInstanceError
+from repro.errors import BudgetExhaustedError, GraphError, InfeasibleInstanceError
 from repro.flow.maxflow import has_k_disjoint_paths
 from repro.lp.flow_lp import solve_flow_lp
 from repro.flow.mincost import min_cost_k_flow
-from repro.flow.decompose import decompose_flow
+from repro.flow.decompose import decompose_flow, strip_improving_cycles
 from repro.graph.digraph import DiGraph
+from repro.robustness.anytime import (
+    STATUS_BUDGET_EXHAUSTED,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    Certificate,
+    make_certificate,
+)
+from repro.robustness.budget import BudgetMeter, SolveBudget, metered
 
 
 @dataclass
@@ -73,6 +81,17 @@ class KRSPSolution:
         solves, cancellation iterations, ... — see docs/OBSERVABILITY.md).
         Populated only when a :func:`repro.obs.session` is active; empty
         otherwise (the disabled fast path records nothing).
+    status:
+        ``"ok"`` — the full pipeline finished (bit-identical to an
+        unbudgeted solve); ``"budget_exhausted"`` — a
+        :class:`~repro.robustness.SolveBudget` tripped and ``paths`` is
+        the best valid solution seen; ``"degraded"`` — the cancellation
+        loop stalled (state repetition under estimated bounds) while
+        holding a valid solution. See docs/ROBUSTNESS.md.
+    certificate:
+        Machine-checkable quality residue (delay slack, cost-bound gap,
+        budget odometer). Always populated; most useful when
+        ``status != "ok"``.
     """
 
     paths: list[list[int]]
@@ -87,14 +106,20 @@ class KRSPSolution:
     scaled: bool = False
     timings: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    status: str = STATUS_OK
+    certificate: Certificate | None = None
 
 
-def _cost_cap_upper_bound(inst: KRSPInstance) -> int | None:
-    """Cheapest delay-feasible flow's cost: a certified C_OPT upper bound.
+def _cost_cap_upper_bound(
+    inst: KRSPInstance,
+) -> tuple[int, list[list[int]]] | None:
+    """Cheapest delay-feasible flow: a certified C_OPT upper bound.
 
     Found by minimizing delay (cost tie-broken); if even that flow misses
     the budget the instance is infeasible and the caller will discover it,
-    so return ``None`` (cap disabled).
+    so return ``None`` (cap disabled). Returns ``(cost, paths)`` — the
+    witnessing paths double as the anytime layer's preferred degraded
+    answer (delay-feasible by construction).
     """
     g = inst.graph
     big = g.total_cost() + 1
@@ -108,7 +133,7 @@ def _cost_cap_upper_bound(inst: KRSPInstance) -> int | None:
     flat = [e for p in paths for e in p]
     if g.delay_of(flat) > inst.delay_bound:
         return None
-    return g.cost_of(flat)
+    return g.cost_of(flat), paths
 
 
 def solve_krsp(
@@ -124,6 +149,7 @@ def solve_krsp(
     opt_cost: int | None = None,
     strict_monitor: bool = False,
     finder: str = "production",
+    budget: SolveBudget | None = None,
 ) -> KRSPSolution:
     """Solve kRSP with the paper's bifactor algorithm.
 
@@ -144,12 +170,25 @@ def solve_krsp(
     opt_cost, strict_monitor, finder:
         Instrumentation / fidelity knobs — see
         :func:`cancel_to_feasibility`.
+    budget:
+        Cooperative :class:`repro.robustness.SolveBudget` enabling
+        **anytime** semantics: on exhaustion (wall-clock deadline,
+        iteration cap, search-node cap — even a zero deadline) the solver
+        returns the best valid ``k``-disjoint-paths solution it holds,
+        with ``status != "ok"`` and a quality :class:`Certificate`,
+        instead of raising. Structural/budget infeasibility still raises
+        (there is no valid answer to degrade to). The feasibility gate is
+        mandatory work, so a budgeted solve always has at least the
+        minimum-delay flow to fall back on.
 
     Raises
     ------
     InfeasibleInstanceError
         When no ``k`` disjoint delay-feasible paths exist.
     """
+    # Arm the deadline clock before any work so "deadline" means
+    # end-to-end wall clock, not just the cancellation phase.
+    meter = budget.start() if budget is not None else None
     if obs.enabled():
         # Nest a per-solve session under whatever is tracing (CLI trace,
         # fuzz run, eval harness) so each solution carries its own counter
@@ -157,13 +196,13 @@ def solve_krsp(
         with obs.session(label="solve_krsp") as tel:
             sol = _solve_krsp_impl(
                 g, s, t, k, delay_bound, phase1, eps, b_max,
-                max_iterations, opt_cost, strict_monitor, finder,
+                max_iterations, opt_cost, strict_monitor, finder, meter,
             )
         sol.counters = dict(tel.counters)
         return sol
     return _solve_krsp_impl(
         g, s, t, k, delay_bound, phase1, eps, b_max,
-        max_iterations, opt_cost, strict_monitor, finder,
+        max_iterations, opt_cost, strict_monitor, finder, meter,
     )
 
 
@@ -180,6 +219,7 @@ def _solve_krsp_impl(
     opt_cost: int | None,
     strict_monitor: bool,
     finder: str,
+    meter: BudgetMeter | None = None,
 ) -> KRSPSolution:
     """The pipeline body of :func:`solve_krsp` (telemetry-agnostic)."""
     timer = Timer(span_prefix="krsp")
@@ -204,62 +244,92 @@ def _solve_krsp_impl(
     work_inst = inst
     scaled = False
     theta = None
-    if eps is not None:
-        eps1, eps2 = (eps, eps) if isinstance(eps, (int, float)) else eps
-        with timer.section("scaling"):
-            # Cost-grid estimate C_hat: the min-sum (delay-oblivious) cost,
-            # a certified lower bound on C_OPT as Theorem 4's guarantee wants.
-            from repro.flow.suurballe import suurballe_k_paths
+    lower_bound: Fraction | None = None
+    p1: Phase1Result | None = None
+    cap_paths: list[list[int]] | None = None
+    result: CancellationResult | None = None
+    exhausted: str | None = None
 
-            base_paths = suurballe_k_paths(g, s, t, k)
-            if base_paths is None:
-                raise InfeasibleInstanceError("k disjoint paths vanished")
-            c_hat = max(1, sum(g.cost_of(p) for p in base_paths))
-            theta = scale_instance(inst, eps1, eps2, c_hat)
-            work_inst = theta.instance
-            scaled = True
+    # Everything past the feasibility gate runs under the (possibly absent)
+    # budget meter; a trip anywhere degrades to the best valid solution held
+    # at that point instead of surfacing the control-flow exception.
+    with metered(meter):
+        try:
+            if eps is not None:
+                eps1, eps2 = (eps, eps) if isinstance(eps, (int, float)) else eps
+                with timer.section("scaling"):
+                    # Cost-grid estimate C_hat: the min-sum (delay-oblivious)
+                    # cost, a certified lower bound on C_OPT as Theorem 4's
+                    # guarantee wants.
+                    from repro.flow.suurballe import suurballe_k_paths
 
-    with timer.section("phase1"):
-        provider = PROVIDERS[phase1]
-        p1: Phase1Result = provider(work_inst)
+                    base_paths = suurballe_k_paths(g, s, t, k)
+                    if base_paths is None:
+                        raise InfeasibleInstanceError("k disjoint paths vanished")
+                    c_hat = max(1, sum(g.cost_of(p) for p in base_paths))
+                    theta = scale_instance(inst, eps1, eps2, c_hat)
+                    work_inst = theta.instance
+                    scaled = True
 
-    with timer.section("lower_bound"):
-        # The flow-LP optimum is usually the tightest certified lower bound
-        # and is cheap next to one auxiliary-graph solve; the tighter the
-        # bound, the earlier the bicameral sweep can stop (rate tests
-        # certify sooner). Combine it with whatever phase 1 learned.
-        lower_bound = p1.cost_lower_bound
-        lp = solve_flow_lp(
-            work_inst.graph,
-            work_inst.s,
-            work_inst.t,
-            work_inst.k,
-            work_inst.delay_bound,
+            with timer.section("phase1"):
+                provider = PROVIDERS[phase1]
+                p1 = provider(work_inst)
+
+            with timer.section("lower_bound"):
+                # The flow-LP optimum is usually the tightest certified lower
+                # bound and is cheap next to one auxiliary-graph solve; the
+                # tighter the bound, the earlier the bicameral sweep can stop
+                # (rate tests certify sooner). Combine it with whatever
+                # phase 1 learned.
+                lower_bound = p1.cost_lower_bound
+                lp = solve_flow_lp(
+                    work_inst.graph,
+                    work_inst.s,
+                    work_inst.t,
+                    work_inst.k,
+                    work_inst.delay_bound,
+                )
+                if lp is None:
+                    raise InfeasibleInstanceError(
+                        "delay-budgeted flow LP infeasible"
+                    )
+                # Shave solver tolerance so float noise can never push the
+                # "certified" bound above the true optimum.
+                lp_bound = Fraction(max(0.0, lp.cost - 1e-6)).limit_denominator(10**9)
+                lower_bound = (
+                    lp_bound if lower_bound is None else max(lower_bound, lp_bound)
+                )
+
+            with timer.section("cost_cap"):
+                cap_res = _cost_cap_upper_bound(work_inst)
+                cap = cap_paths = None
+                if cap_res is not None:
+                    cap, cap_paths = cap_res
+
+            with timer.section("cancel"):
+                result = cancel_to_feasibility(
+                    work_inst,
+                    p1.solution,
+                    cost_lower_bound=lower_bound,
+                    opt_cost=opt_cost if not scaled else None,
+                    cost_cap=cap,
+                    b_max=b_max,
+                    max_iterations=max_iterations,
+                    strict_monitor=strict_monitor and not scaled,
+                    finder=finder,
+                )
+            exhausted = result.exhausted
+        except BudgetExhaustedError as exc:
+            exhausted = exc.reason
+
+    if exhausted is None:
+        assert result is not None
+        final_paths = [list(p) for p in result.solution.paths]
+    else:
+        final_paths = _best_degraded_paths(
+            g, s, t, delay_bound, min_delay_flow, p1, cap_paths, result
         )
-        if lp is None:
-            raise InfeasibleInstanceError("delay-budgeted flow LP infeasible")
-        # Shave solver tolerance so float noise can never push the
-        # "certified" bound above the true optimum.
-        lp_bound = Fraction(max(0.0, lp.cost - 1e-6)).limit_denominator(10**9)
-        lower_bound = lp_bound if lower_bound is None else max(lower_bound, lp_bound)
 
-    with timer.section("cost_cap"):
-        cap = _cost_cap_upper_bound(work_inst)
-
-    with timer.section("cancel"):
-        result: CancellationResult = cancel_to_feasibility(
-            work_inst,
-            p1.solution,
-            cost_lower_bound=lower_bound,
-            opt_cost=opt_cost if not scaled else None,
-            cost_cap=cap,
-            b_max=b_max,
-            max_iterations=max_iterations,
-            strict_monitor=strict_monitor and not scaled,
-            finder=finder,
-        )
-
-    final_paths = [list(p) for p in result.solution.paths]
     flat = [e for p in final_paths for e in p]
     cost = g.cost_of(flat)
     delay = g.delay_of(flat)
@@ -271,18 +341,48 @@ def _solve_krsp_impl(
         # unscaled-provider bound survives, so drop it.
         lb = None
 
+    if exhausted is None:
+        status = STATUS_OK
+    elif exhausted == "stalled":
+        status = STATUS_DEGRADED
+    else:
+        status = STATUS_BUDGET_EXHAUSTED
+    certificate = make_certificate(
+        cost,
+        delay,
+        delay_bound,
+        lb,
+        exhausted_reason=exhausted,
+        usage=meter.usage() if meter is not None else None,
+    )
+
+    iterations = result.iterations if result is not None else 0
+    records = result.records if result is not None else []
+    provider_name = p1.provider if p1 is not None else ""
+
     obs.inc("krsp.solves")
     obs.gauge("krsp.cost", cost)
     obs.gauge("krsp.delay", delay)
+    if exhausted is not None:
+        obs.inc("budget.exhausted")
+        obs.emit(
+            "budget.exhausted",
+            reason=exhausted,
+            status=status,
+            elapsed_seconds=meter.elapsed_seconds() if meter is not None else None,
+            iterations_used=meter.iterations_used if meter is not None else iterations,
+            search_nodes_used=meter.search_nodes_used if meter is not None else 0,
+        )
     obs.emit(
         "solve.result",
         cost=cost,
         delay=delay,
         delay_bound=delay_bound,
         feasible=delay <= delay_bound,
-        iterations=result.iterations,
-        provider=p1.provider,
+        iterations=iterations,
+        provider=provider_name,
         scaled=scaled,
+        status=status,
     )
     return KRSPSolution(
         paths=final_paths,
@@ -291,9 +391,53 @@ def _solve_krsp_impl(
         delay_bound=delay_bound,
         delay_feasible=delay <= delay_bound,
         cost_lower_bound=lb,
-        iterations=result.iterations,
-        records=result.records,
-        provider=p1.provider,
+        iterations=iterations,
+        records=records,
+        provider=provider_name,
         scaled=scaled,
         timings=timer.as_dict(),
+        status=status,
+        certificate=certificate,
     )
+
+
+def _best_degraded_paths(
+    g: DiGraph,
+    s: int,
+    t: int,
+    delay_bound: int,
+    min_delay_flow,
+    p1: Phase1Result | None,
+    cap_paths: list[list[int]] | None,
+    result: CancellationResult | None,
+) -> list[list[int]]:
+    """Pick the best valid solution available when the budget ran out.
+
+    Candidates, all ``k`` edge-disjoint ``s``-``t`` path sets over the
+    original graph: the cancellation loop's best-so-far, phase 1's start,
+    the cheapest delay-feasible flow (cost-cap witness), and — always
+    available because the feasibility gate is mandatory work — the
+    minimum-delay flow. Ranked by least delay overshoot first (a feasible
+    answer beats any infeasible one), then cost, then delay.
+    """
+    pool: list[list[list[int]]] = []
+    if result is not None:
+        pool.append([list(p) for p in result.solution.paths])
+    elif p1 is not None:
+        pool.append([list(p) for p in p1.solution.paths])
+    if cap_paths is not None:
+        pool.append(cap_paths)
+    else:
+        # The min-delay flow is delay-feasible (the feasibility gate checked
+        # exactly that) — the floor every budgeted solve can stand on.
+        eids = np.nonzero(min_delay_flow.used)[0]
+        paths, cycles = decompose_flow(g, eids, s, t)
+        strip_improving_cycles(g, paths, cycles)
+        pool.append(paths)
+
+    def rank(paths: list[list[int]]) -> tuple[int, int, int]:
+        flat = [e for p in paths for e in p]
+        c, d = g.cost_of(flat), g.delay_of(flat)
+        return (max(0, d - delay_bound), c, d)
+
+    return min(pool, key=rank)

@@ -43,6 +43,7 @@ from repro.flow.mincost import min_cost_k_flow
 from repro.graph.digraph import DiGraph
 from repro.lp.basis import round_flow_score_monotone
 from repro.lp.flow_lp import solve_flow_lp
+from repro.robustness.budget import checkpoint
 
 
 @dataclass
@@ -138,6 +139,9 @@ def phase1_lagrangian(inst: KRSPInstance, max_iterations: int = 60) -> Phase1Res
     best_bound = Fraction(sol_c.cost)
     lam = Fraction(0)
     for _ in range(max_iterations):
+        # Each step is a full min-cost-flow solve; honor an ambient solve
+        # budget between steps (no-op unless a meter is armed).
+        checkpoint("phase1.lagrangian")
         if cheap.delay == fast.delay:
             break
         lam = Fraction(fast.cost - cheap.cost, cheap.delay - fast.delay)

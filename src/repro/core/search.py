@@ -32,6 +32,7 @@ from repro.core.bicameral import CandidateCycle, CycleType, classify
 from repro.core.cycle_decompose import split_closed_walk
 from repro.core.residual import ResidualGraph
 from repro.paths.bellman_ford import find_negative_cycle
+from repro.robustness.budget import BudgetMeter
 
 
 @dataclass
@@ -121,13 +122,17 @@ def find_bicameral_cycle(
     fallback: str = "type1_first",
     delta_c_soft: int | None = None,
     type2_only_if_no_type1: bool = False,
+    meter: BudgetMeter | None = None,
 ) -> tuple[CandidateCycle, CycleType] | None:
     """Search-and-select with early stopping (the production path).
 
     Telemetry: runs under a ``search.bicameral`` span and flushes the
     per-call work (probes, LP solves, aux-graph sizes, candidates found)
     into ``search.*`` / ``bicameral.*`` counters on exit. Documented in
-    detail on :func:`_find_bicameral_cycle_impl`.
+    detail on :func:`_find_bicameral_cycle_impl`. With a ``meter``, the
+    sweep charges auxiliary-graph nodes against the budget's node cap and
+    checks the deadline between LP solves; a trip raises
+    :class:`~repro.errors.BudgetExhaustedError` (counters still flush).
     """
     stats = stats if stats is not None else SearchStats()
     stats.short_circuited_type0 = False
@@ -144,6 +149,7 @@ def find_bicameral_cycle(
                 fallback=fallback,
                 delta_c_soft=delta_c_soft,
                 type2_only_if_no_type1=type2_only_if_no_type1,
+                meter=meter,
             )
         finally:
             stats._flush_delta(before)
@@ -159,6 +165,7 @@ def _find_bicameral_cycle_impl(
     fallback: str = "type1_first",
     delta_c_soft: int | None = None,
     type2_only_if_no_type1: bool = False,
+    meter: BudgetMeter | None = None,
 ) -> tuple[CandidateCycle, CycleType] | None:
     """Search-and-select with early stopping (the production path).
 
@@ -260,10 +267,14 @@ def _find_bicameral_cycle_impl(
         stats.aux_nodes_built += aux.graph.n
         stats.aux_edges_built += aux.graph.m
         stats.b_values.append(b)
+        if meter is not None:
+            meter.charge_search_nodes(aux.graph.n, "search.sweep")
         # Positive-cost cycles (type-1 material) are what a delay-infeasible
         # iteration almost always needs; solve the negative sign only when
         # the positive one did not already yield an accepted pick.
         for sign in (+1, -1):
+            if meter is not None:
+                meter.check("search.ratio_lp")
             x = solve_ratio_lp(aux, sign)
             stats.lp_solves += 1
             if x is not None:
@@ -310,6 +321,7 @@ def find_bicameral_candidates(
     residual: ResidualGraph,
     b_max: int | None = None,
     stats: SearchStats | None = None,
+    meter: BudgetMeter | None = None,
 ) -> list[CandidateCycle]:
     """Collect candidate cycles for bicameral selection.
 
@@ -323,6 +335,10 @@ def find_bicameral_candidates(
         the trade-off (experiment E6).
     stats:
         Optional instrumentation sink.
+    meter:
+        Optional armed budget; the sweep charges auxiliary-graph nodes
+        and checks the deadline between LP solves (a trip raises
+        :class:`~repro.errors.BudgetExhaustedError`).
 
     Returns a deduplicated candidate list; possibly empty (no bicameral
     cycle — Algorithm 1 step 2(a) declares the instance infeasible).
@@ -332,7 +348,7 @@ def find_bicameral_candidates(
     before = stats._snapshot()
     with obs.span("search.candidates_full"):
         try:
-            return _find_bicameral_candidates_impl(residual, b_max, stats)
+            return _find_bicameral_candidates_impl(residual, b_max, stats, meter)
         finally:
             stats._flush_delta(before)
 
@@ -341,6 +357,7 @@ def _find_bicameral_candidates_impl(
     residual: ResidualGraph,
     b_max: int | None,
     stats: SearchStats,
+    meter: BudgetMeter | None = None,
 ) -> list[CandidateCycle]:
     """Body of :func:`find_bicameral_candidates` (telemetry-agnostic)."""
     g = residual.graph
@@ -362,7 +379,11 @@ def _find_bicameral_candidates_impl(
         stats.aux_nodes_built += aux.graph.n
         stats.aux_edges_built += aux.graph.m
         stats.b_values.append(b)
+        if meter is not None:
+            meter.charge_search_nodes(aux.graph.n, "search.candidates_full")
         for sign in (+1, -1):
+            if meter is not None:
+                meter.check("search.candidates_full.lp")
             x = solve_ratio_lp(aux, sign)
             stats.lp_solves += 1
             if x is None:
@@ -398,6 +419,7 @@ def find_bicameral_candidates_paper(
     b_values: list[int] | None = None,
     anchors: list[int] | None = None,
     stats: SearchStats | None = None,
+    meter: BudgetMeter | None = None,
 ) -> list[CandidateCycle]:
     """Algorithm 3, literally: per-anchor ``H_v^+(B)`` / ``H_v^-(B)``
     graphs (layers 0..B, wraps only at ``v``), the paper's LP (6) on each,
@@ -415,7 +437,7 @@ def find_bicameral_candidates_paper(
     with obs.span("search.paper_literal"):
         try:
             return _find_bicameral_candidates_paper_impl(
-                residual, delta_d, b_values, anchors, stats
+                residual, delta_d, b_values, anchors, stats, meter
             )
         finally:
             stats._flush_delta(before)
@@ -427,6 +449,7 @@ def _find_bicameral_candidates_paper_impl(
     b_values: list[int] | None,
     anchors: list[int] | None,
     stats: SearchStats,
+    meter: BudgetMeter | None = None,
 ) -> list[CandidateCycle]:
     """Body of :func:`find_bicameral_candidates_paper`."""
     from repro.core.auxgraph import build_aux_paper
@@ -453,6 +476,8 @@ def _find_bicameral_candidates_paper_impl(
                 aux = build_aux_paper(g, v, b, sign)
                 stats.aux_nodes_built += aux.graph.n
                 stats.aux_edges_built += aux.graph.m
+                if meter is not None:
+                    meter.charge_search_nodes(aux.graph.n, "search.paper_literal")
                 x = solve_lp6(aux, delta_d)
                 stats.lp_solves += 1
                 if x is None:

@@ -46,6 +46,27 @@ class IterationLimitError(ReproError):
     reaching delay feasibility."""
 
 
+class BudgetExhaustedError(ReproError):
+    """A cooperative :class:`repro.robustness.SolveBudget` ran out mid-solve.
+
+    This is a *control-flow signal*, not a user-facing failure: the anytime
+    layers (:func:`repro.core.krsp.solve_krsp` with a budget,
+    :func:`repro.robustness.solve_with_fallback`) catch it and return the
+    best valid solution seen so far with ``status != "ok"``. It only
+    escapes to callers that invoke budget-metered internals directly.
+
+    ``reason`` is one of ``"deadline"``, ``"iterations"``, ``"search_nodes"``;
+    ``where`` names the checkpoint that tripped.
+    """
+
+    def __init__(self, reason: str, where: str = ""):
+        super().__init__(
+            f"solve budget exhausted ({reason})" + (f" at {where}" if where else "")
+        )
+        self.reason = reason
+        self.where = where
+
+
 class NegativeCycleError(ReproError):
     """A shortest-path routine that requires the absence of negative
     cycles detected one. Carries the offending cycle when available."""

@@ -1,4 +1,4 @@
-"""Process-parallel trial execution for the evaluation harness.
+"""Fault-tolerant process-parallel trial execution for the evaluation harness.
 
 Parameter sweeps are embarrassingly parallel across (instance, solver)
 pairs; per the HPC guides, profile first — here the hot spots are HiGHS
@@ -6,21 +6,48 @@ LP/MILP solves, which release no useful parallelism within a process, so
 scaling out across processes is the right lever. This module mirrors
 :func:`repro.eval.harness.run_trials` with a :class:`ProcessPoolExecutor`.
 
+Unlike a bare ``pool.map`` (whose single aggregated result meant one crashed
+worker lost *every* record of a sweep, including trials that had already
+finished), trials are submitted individually and collected as they
+complete, so the harness guarantees **one record per submitted trial**:
+
+* a worker exception of any kind becomes a ``status="error"`` record
+  (the worker body catches everything — a trial failing is a data point);
+* a per-trial ``trial_timeout`` arms a cooperative
+  :class:`~repro.robustness.SolveBudget` inside the worker (``"timeout"``
+  records) and a harness-side stall guard for workers that stop
+  responding entirely;
+* a worker death (OOM kill, segfault, injected ``SIGKILL``) breaks the
+  whole pool — completed records are kept, the pool is respawned **once**
+  and the lost trials retried; trials lost again come back as
+  ``status="crashed"`` records;
+* with ``jsonl_path`` every record is appended (and flushed) the moment it
+  is finalized, so even a harness-process crash loses at most the
+  in-flight trials.
+
 Workers receive (instance payload, solver name) and resolve the solver from
 a registry — functions themselves are not pickled, so lambdas and closures
-on the caller's side stay usable via the named indirection.
+on the caller's side stay usable via the named indirection. Deterministic
+fault injection for tests rides the same payloads: see
+:mod:`repro.oracle.faults`.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Any, Callable, Iterable
 
-from repro.errors import ReproError
+from repro import obs
+from repro.errors import BudgetExhaustedError, InfeasibleInstanceError, ReproError
 from repro.eval.harness import TrialRecord
 from repro.eval.workloads import WorkloadInstance
 from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.oracle.faults import FaultPlan, fault_spec_from_dict
+from repro.robustness.budget import SolveBudget, metered
 
 #: Worker-side registry of named solver adapters. Populated at import time;
 #: extend with :func:`register_solver` before launching a pool (the
@@ -32,16 +59,23 @@ _SOLVER_REGISTRY: dict[str, Callable] = {}
 def register_solver(name: str, fn: Callable) -> None:
     """Register a picklable-by-name solver adapter.
 
-    ``fn(graph, s, t, k, delay_bound) -> (cost, delay, extra_dict)``.
+    ``fn(graph, s, t, k, delay_bound) -> (cost, delay, extra_dict)``. An
+    adapter may additionally accept a ``budget`` keyword
+    (:class:`~repro.robustness.SolveBudget` or ``None``) to honor the
+    harness's per-trial timeout natively; adapters without it run under the
+    ambient budget meter instead (see :func:`repro.robustness.checkpoint`).
     """
     _SOLVER_REGISTRY[name] = fn
 
 
-def _builtin_bicameral(g, s, t, k, bound):
+def _builtin_bicameral(g, s, t, k, bound, budget=None):
     from repro.core.krsp import solve_krsp
 
-    sol = solve_krsp(g, s, t, k, bound)
-    return sol.cost, sol.delay, {"iterations": sol.iterations}
+    sol = solve_krsp(g, s, t, k, bound, budget=budget)
+    return sol.cost, sol.delay, {
+        "iterations": sol.iterations,
+        "solve_status": sol.status,
+    }
 
 
 def _builtin_baseline(which: str):
@@ -59,51 +93,122 @@ for _name in ("minsum", "lp_rounding_2_2", "orda_sprintson_style", "greedy_seque
     register_solver(_name, _builtin_baseline(_name))
 
 
-def _run_one(payload: tuple[dict, str]) -> dict:
-    """Worker body: rebuild the instance, run the named solver, and return
-    a plain-dict record (keeps pickling cheap and version-stable)."""
-    inst_d, solver_name = payload
-    g = graph_from_dict(inst_d["graph"])
-    s, t, k, bound = inst_d["s"], inst_d["t"], inst_d["k"], inst_d["delay_bound"]
-    fn = _SOLVER_REGISTRY[solver_name]
-    start = time.perf_counter()
-    try:
-        cost, delay, extra = fn(g, s, t, k, bound)
-        status = "ok"
-    except ReproError as exc:
-        cost = delay = None
-        extra = {"error": f"{type(exc).__name__}: {exc}"}
-        status = (
-            "infeasible" if type(exc).__name__ == "InfeasibleInstanceError" else "error"
-        )
+def _base_record(payload: dict) -> dict:
+    """Record fields derivable without running (or even deserializing) the
+    trial — used for both worker records and harness-side failure records."""
+    inst_d = payload["inst"]
     return {
         "workload": inst_d["name"],
         "seed": inst_d["seed"],
-        "solver": solver_name,
-        "n": g.n,
-        "m": g.m,
-        "k": k,
-        "delay_bound": bound,
-        "status": status,
-        "cost": cost,
-        "delay": delay,
-        "seconds": time.perf_counter() - start,
-        "extra": extra,
+        "solver": payload["solver"],
+        "n": inst_d["graph"]["n"],
+        "m": len(inst_d["graph"]["tail"]),
+        "k": inst_d["k"],
+        "delay_bound": inst_d["delay_bound"],
     }
+
+
+def _run_one(payload: dict) -> dict:
+    """Worker body: rebuild the instance, run the named solver, and return
+    a plain-dict record (keeps pickling cheap and version-stable).
+
+    Catches *everything*: a worker must never poison the pool with an
+    exception it could have reported as data. (A ``kill`` fault bypasses
+    this by construction — that is the crash path the harness recovers.)
+    """
+    record = _base_record(payload)
+    inst_d = payload["inst"]
+    trial_timeout = payload.get("trial_timeout")
+    start = time.perf_counter()
+    status: str = "error"
+    cost = delay = None
+    extra: dict[str, Any] = {}
+    counters: dict[str, int] = {}
+    try:
+        fault_d = payload.get("fault")
+        if fault_d is not None:
+            spec = fault_spec_from_dict(fault_d)
+            if spec.fires("worker", payload.get("attempt", 1)):
+                spec.fire()  # "kill" does not return
+        g = graph_from_dict(inst_d["graph"])
+        s, t, k, bound = inst_d["s"], inst_d["t"], inst_d["k"], inst_d["delay_bound"]
+        fn = _SOLVER_REGISTRY[payload["solver"]]
+        budget = (
+            SolveBudget(deadline_seconds=trial_timeout)
+            if trial_timeout is not None
+            else None
+        )
+        meter = budget.start() if budget is not None else None
+        with obs.session(label=f"trial {payload['solver']}") as tel:
+            with metered(meter):
+                try:
+                    cost, delay, extra = fn(g, s, t, k, bound, budget=budget)
+                except TypeError as exc:
+                    if "budget" not in str(exc):
+                        raise
+                    cost, delay, extra = fn(g, s, t, k, bound)
+        counters = dict(tel.counters)
+        status = "ok"
+    except InfeasibleInstanceError as exc:
+        extra = {"error": f"{type(exc).__name__}: {exc}"}
+        status = "infeasible"
+    except BudgetExhaustedError as exc:
+        extra = {"error": f"{type(exc).__name__}: {exc}"}
+        status = "timeout"
+    except ReproError as exc:
+        extra = {"error": f"{type(exc).__name__}: {exc}"}
+        status = "error"
+    except Exception as exc:  # noqa: BLE001 — never poison the pool
+        extra = {"error": f"{type(exc).__name__}: {exc}"}
+        status = "error"
+    record.update(
+        status=status,
+        cost=cost,
+        delay=delay,
+        seconds=time.perf_counter() - start,
+        extra=extra,
+        counters=counters,
+    )
+    return record
 
 
 def run_trials_parallel(
     instances: Iterable[WorkloadInstance],
     solver_names: list[str],
     max_workers: int | None = None,
+    *,
+    trial_timeout: float | None = None,
+    stall_grace: float = 5.0,
+    fault_plan: FaultPlan | None = None,
+    jsonl_path: str | Path | None = None,
 ) -> list[TrialRecord]:
     """Parallel counterpart of :func:`repro.eval.harness.run_trials`.
 
     ``solver_names`` must be registered (built-ins: ``bicameral`` plus the
     four baselines). Records come back in deterministic (instance, solver)
-    order regardless of completion order.
+    order regardless of completion order, one per submitted trial, always
+    — see the module docstring for the failure taxonomy.
+
+    Parameters
+    ----------
+    trial_timeout:
+        Per-trial wall-clock budget in seconds. Arms a cooperative
+        :class:`~repro.robustness.SolveBudget` inside the worker; the
+        bicameral solver then answers anytime-style (``status="ok"`` with
+        a degraded certificate), baselines abort with ``status="timeout"``.
+    stall_grace:
+        Harness-side guard: if no trial completes for
+        ``trial_timeout + stall_grace`` seconds, the remaining trials are
+        recorded as ``"timeout"`` and abandoned (covers workers stuck in
+        non-cooperative code). Only active when ``trial_timeout`` is set.
+    fault_plan:
+        Deterministic fault injection keyed by instance seed
+        (:class:`repro.oracle.faults.FaultPlan`) — test seam.
+    jsonl_path:
+        Append each record to this JSONL file the moment it is finalized
+        (crash-safe incremental persistence).
     """
-    payloads: list[tuple[dict, str]] = []
+    payloads: list[dict] = []
     for inst in instances:
         inst_d = {
             "graph": graph_to_dict(inst.graph),
@@ -114,12 +219,127 @@ def run_trials_parallel(
             "name": inst.name,
             "seed": inst.seed,
         }
+        spec = fault_plan.spec_for(inst.seed) if fault_plan is not None else None
         for name in solver_names:
             if name not in _SOLVER_REGISTRY:
                 raise KeyError(f"solver {name!r} is not registered")
-            payloads.append((inst_d, name))
+            payloads.append(
+                {
+                    "inst": inst_d,
+                    "solver": name,
+                    "trial_timeout": trial_timeout,
+                    "fault": spec.to_dict() if spec is not None else None,
+                }
+            )
 
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        raw = list(pool.map(_run_one, payloads))
+    results: list[dict | None] = [None] * len(payloads)
+    sink = open(jsonl_path, "a", encoding="utf-8") if jsonl_path is not None else None
 
-    return [TrialRecord(**r) for r in raw]
+    def finalize(index: int, record: dict) -> None:
+        results[index] = record
+        if sink is not None:
+            sink.write(json.dumps(record) + "\n")
+            sink.flush()
+
+    try:
+        lost = _run_pool_round(payloads, list(range(len(payloads))), 1,
+                               max_workers, trial_timeout, stall_grace, finalize)
+        if lost:
+            # The pool broke (a worker died). Respawn once and retry only
+            # the trials whose results were lost — everything already
+            # finalized is kept.
+            obs.inc("parallel.pool_respawns")
+            obs.emit("parallel.pool_respawn", lost_trials=len(lost))
+            lost = _run_pool_round(payloads, lost, 2,
+                                   max_workers, trial_timeout, stall_grace, finalize)
+            for i in lost:
+                rec = _base_record(payloads[i])
+                rec.update(
+                    status="crashed",
+                    cost=None,
+                    delay=None,
+                    seconds=0.0,
+                    extra={"error": "worker process died (pool broke twice)"},
+                    counters={},
+                )
+                obs.inc("parallel.trials_crashed")
+                finalize(i, rec)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    assert all(r is not None for r in results)  # one record per trial
+    return [TrialRecord(**r) for r in results]
+
+
+def _run_pool_round(
+    payloads: list[dict],
+    pending: list[int],
+    attempt: int,
+    max_workers: int | None,
+    trial_timeout: float | None,
+    stall_grace: float,
+    finalize: Callable[[int, dict], None],
+) -> list[int]:
+    """Run one pool over ``pending`` payload indices.
+
+    Finalizes a record for every index it can; returns the indices whose
+    results were lost to a broken pool (candidates for the retry round).
+    """
+    lost: list[int] = []
+    guard = None if trial_timeout is None else trial_timeout + stall_grace
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = {
+            pool.submit(_run_one, {**payloads[i], "attempt": attempt}): i
+            for i in pending
+        }
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, timeout=guard, return_when=FIRST_COMPLETED)
+            if not done:
+                # Stall: a full guard window passed with zero completions.
+                # Workers stuck in non-cooperative code cannot be killed
+                # from here portably; record and abandon them.
+                for fut in not_done:
+                    i = futures[fut]
+                    fut.cancel()
+                    rec = _base_record(payloads[i])
+                    rec.update(
+                        status="timeout",
+                        cost=None,
+                        delay=None,
+                        seconds=float(guard),
+                        extra={"error": f"no completion within {guard:.3f}s guard"},
+                        counters={},
+                    )
+                    obs.inc("parallel.trials_stalled")
+                    finalize(i, rec)
+                not_done = set()
+                break
+            for fut in done:
+                i = futures[fut]
+                if fut.cancelled():
+                    lost.append(i)
+                    continue
+                exc = fut.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    lost.append(i)
+                elif exc is not None:
+                    # Harness-side surprise (e.g. unpicklable result); the
+                    # worker itself catches everything, so this is rare.
+                    rec = _base_record(payloads[i])
+                    rec.update(
+                        status="error",
+                        cost=None,
+                        delay=None,
+                        seconds=0.0,
+                        extra={"error": f"{type(exc).__name__}: {exc}"},
+                        counters={},
+                    )
+                    finalize(i, rec)
+                else:
+                    finalize(i, fut.result())
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return sorted(lost)

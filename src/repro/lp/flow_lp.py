@@ -25,8 +25,28 @@ import scipy.optimize
 import scipy.sparse as sp
 
 from repro import obs
-from repro.errors import SolverError
+from repro.errors import BudgetExhaustedError, SolverError
 from repro.graph.digraph import DiGraph
+from repro.robustness.budget import checkpoint, current_meter
+
+
+def lp_time_limit_options() -> tuple[dict, bool]:
+    """HiGHS options capping one LP solve at the ambient budget's headroom.
+
+    An LP solve is the largest indivisible unit of work in the pipeline;
+    cooperative checkpoints can refuse to *start* one, but without this cap
+    a single big solve started just under the deadline would overshoot it
+    by its full runtime. Returns ``(options, capped)`` — ``capped`` tells
+    the caller whether a HiGHS status 1 means "budget deadline hit" (raise
+    :class:`~repro.errors.BudgetExhaustedError`) rather than a genuine
+    iteration-limit failure. The small floor keeps a nearly-spent budget
+    from turning every solve into an instant, useless timeout.
+    """
+    meter = current_meter()
+    remaining = meter.remaining_seconds() if meter is not None else None
+    if remaining is None:
+        return {}, False
+    return {"time_limit": max(remaining, 0.05)}, True
 
 
 @dataclass
@@ -77,11 +97,16 @@ def solve_flow_lp(
     """
     if g.m == 0:
         return None
+    # Cooperative budget gate: an LP solve is the largest indivisible unit
+    # of work in the pipeline, so refuse to start one on a spent budget
+    # (no-op unless a meter is armed; see repro.robustness.budget).
+    checkpoint("lp.flow_lp")
     A_eq = incidence_matrix(g)
     b_eq = np.zeros(g.n)
     b_eq[s] += k
     b_eq[t] -= k
 
+    options, deadline_capped = lp_time_limit_options()
     with obs.span("lp.flow_lp"):
         res = scipy.optimize.linprog(
             c=g.cost.astype(np.float64),
@@ -91,12 +116,15 @@ def solve_flow_lp(
             b_eq=b_eq,
             bounds=(0.0, 1.0),
             method="highs-ds",
+            options=options,
         )
     obs.inc("lp.flow_lp.solves")
     obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:  # infeasible
         obs.inc("lp.flow_lp.infeasible")
         return None
+    if res.status == 1 and deadline_capped:
+        raise BudgetExhaustedError("deadline", "lp.flow_lp")
     if not res.success:
         raise SolverError(f"flow LP failed: status={res.status} {res.message}")
     x = np.clip(res.x, 0.0, 1.0)

@@ -13,7 +13,10 @@ MILP oracle and the independent auditor). This package industrializes that:
 * :mod:`repro.oracle.shrinker` — greedy reproducer minimization;
 * :mod:`repro.oracle.corpus` — the persistent regression corpus
   (``tests/corpus/``);
-* :mod:`repro.oracle.driver` — the budgeted session behind ``repro fuzz``.
+* :mod:`repro.oracle.driver` — the budgeted session behind ``repro fuzz``;
+* :mod:`repro.oracle.faults` — deterministic fault injection (raises,
+  sleeps, worker kills keyed by instance seed) for the robustness layer's
+  crash-recovery and degradation tests.
 
 Typical entry points::
 
@@ -30,6 +33,14 @@ from repro.oracle.corpus import (
     save_entry,
 )
 from repro.oracle.differential import DiffReport, Failure, run_differential
+from repro.oracle.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_plan_from_dict,
+    fault_spec_from_dict,
+)
 from repro.oracle.driver import (
     FailureRecord,
     FuzzConfig,
@@ -54,10 +65,14 @@ from repro.oracle.shrinker import ShrinkResult, shrink
 __all__ = [
     "CorpusEntry",
     "DiffReport",
+    "FAULT_KINDS",
     "Failure",
     "FailureRecord",
+    "FaultPlan",
+    "FaultSpec",
     "FuzzConfig",
     "FuzzReport",
+    "InjectedFault",
     "Metamorphosis",
     "MUTATIONS",
     "OracleInstance",
@@ -67,6 +82,8 @@ __all__ = [
     "apply_transform",
     "entry_from_dict",
     "entry_to_dict",
+    "fault_plan_from_dict",
+    "fault_spec_from_dict",
     "instance_stream",
     "load_corpus",
     "make_base_instance",

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for robustness testing.
+
+The fault-tolerant harness (:func:`repro.eval.parallel.run_trials_parallel`)
+and the fallback chain (:func:`repro.robustness.solve_with_fallback`) both
+claim to survive misbehaving workers. Those claims are only testable if the
+misbehavior is reproducible, so this module provides *plans*: a mapping from
+instance seed to a :class:`FaultSpec` that fires deterministically inside
+the worker (or at a fallback-tier attempt point).
+
+Fault kinds:
+
+``"raise"``
+    Raise :class:`InjectedFault` (deliberately **not** a
+    :class:`~repro.errors.ReproError` — it exercises the catch-everything
+    paths, not the tidy error taxonomy).
+``"iteration_limit"``
+    Raise :class:`~repro.errors.IterationLimitError`, the pre-anytime
+    failure mode the robustness layer was built to absorb.
+``"sleep"``
+    Block for ``seconds`` before the solve starts (drives per-trial
+    timeout handling without needing a genuinely hard instance).
+``"kill"``
+    ``SIGKILL`` the current process — from a pool worker this breaks the
+    whole :class:`~concurrent.futures.ProcessPoolExecutor`, which is
+    exactly the crash-loss scenario of the pool.map bugfix.
+
+Plans are plain data (``to_dict``/``from_dict``) so they can ride inside
+pickled worker payloads. ``FaultSpec.attempts`` restricts firing to given
+retry attempts (e.g. ``(1,)`` = fail once, succeed on the respawned pool's
+retry), which is how tests distinguish *transient* from *persistent* faults
+across processes that share no state.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import IterationLimitError
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("raise", "iteration_limit", "sleep", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately foreign exception (not in the ReproError hierarchy)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    seconds:
+        Sleep duration for ``"sleep"`` faults.
+    at:
+        Injection-point prefix filter (``None`` = fire at any point). The
+        parallel harness injects at ``"worker"``; the fallback chain calls
+        its hook with ``"{tier}.attempt{i}"``.
+    attempts:
+        Retry attempts on which to fire (``None`` = every attempt). The
+        harness numbers pool rounds starting at 1, so ``attempts=(1,)``
+        models a transient crash that a respawned pool's retry survives.
+    message:
+        Text carried by raised exceptions.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    at: str | None = None
+    attempts: tuple[int, ...] | None = None
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError("fault sleep seconds must be >= 0")
+
+    def fires(self, point: str, attempt: int = 1) -> bool:
+        """Whether this spec fires at ``point`` on retry ``attempt``."""
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return self.at is None or point.startswith(self.at)
+
+    def fire(self) -> None:
+        """Inject the fault (``"kill"`` does not return)."""
+        if self.kind == "sleep":
+            time.sleep(self.seconds)
+        elif self.kind == "raise":
+            raise InjectedFault(self.message)
+        elif self.kind == "iteration_limit":
+            raise IterationLimitError(self.message)
+        elif self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "at": self.at,
+            "attempts": list(self.attempts) if self.attempts is not None else None,
+            "message": self.message,
+        }
+
+
+def fault_spec_from_dict(data: Mapping[str, Any]) -> FaultSpec:
+    """Inverse of :meth:`FaultSpec.to_dict`."""
+    attempts = data.get("attempts")
+    return FaultSpec(
+        kind=data["kind"],
+        seconds=float(data.get("seconds", 0.0)),
+        at=data.get("at"),
+        attempts=tuple(attempts) if attempts is not None else None,
+        message=data.get("message", "injected fault"),
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Faults keyed by instance seed (the stable trial identity)."""
+
+    by_seed: Mapping[int, FaultSpec]
+
+    def spec_for(self, seed: int) -> FaultSpec | None:
+        return self.by_seed.get(seed)
+
+    def inject(self, seed: int, point: str, attempt: int = 1) -> None:
+        """Fire the fault for ``seed`` if one is planned at this point."""
+        spec = self.by_seed.get(seed)
+        if spec is not None and spec.fires(point, attempt):
+            spec.fire()
+
+    def hook(self, seed: int) -> Callable[[str], None]:
+        """A ``fault_hook`` for :func:`repro.robustness.solve_with_fallback`.
+
+        The fallback chain calls it with ``"{tier}.attempt{i}"``; the
+        spec's ``at`` prefix picks the tier, and the trailing attempt
+        number is parsed so ``attempts`` filters retries too.
+        """
+
+        def _hook(point: str) -> None:
+            attempt = 1
+            _, sep, tail = point.rpartition(".attempt")
+            if sep and tail.isdigit():
+                attempt = int(tail)
+            self.inject(seed, point, attempt)
+
+        return _hook
+
+    def to_dict(self) -> dict[str, Any]:
+        return {str(seed): spec.to_dict() for seed, spec in self.by_seed.items()}
+
+
+def fault_plan_from_dict(data: Mapping[str, Any] | None) -> FaultPlan:
+    """Inverse of :meth:`FaultPlan.to_dict` (``None`` → empty plan)."""
+    if not data:
+        return FaultPlan(by_seed={})
+    return FaultPlan(
+        by_seed={int(seed): fault_spec_from_dict(d) for seed, d in data.items()}
+    )

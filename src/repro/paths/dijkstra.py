@@ -82,48 +82,81 @@ def dijkstra(
     # telemetry-disabled cost inside the loop is a bare integer add.
     pops = 0
     relaxations = 0
-    while heap:
-        u, du_reduced = heap.pop()
-        pops += 1
-        done[u] = True
-        if u == target:
-            break
-        du_true = int(dist[u])
-        for e in eids[starts[u] : starts[u + 1]]:
-            e = int(e)
-            v = int(heads[e])
-            if done[v]:
-                continue
-            we = int(w[e])
-            if pi is not None:
-                red = we + int(pi[u]) - int(pi[v])
-            else:
-                red = we
-            if red < 0:
-                raise GraphError(
-                    f"negative reduced weight {red} on edge {e}"
-                    + ("" if pi is None else "; potentials invalid")
-                )
-            cand_true = du_true + we
-            if cand_true < dist[v]:
-                relaxations += 1
-                dist[v] = cand_true
-                pred[v] = e
-                heap.push_or_decrease(v, du_reduced + red)
-    obs.add("dijkstra.pops", pops)
-    obs.add("dijkstra.relaxations", relaxations)
+    # try/finally so the flush also happens when the loop aborts (e.g. a
+    # negative reduced weight raising GraphError): the work was done, so
+    # the record of it must survive the failure — fuzzing and post-mortem
+    # triage read these counters off failed trials.
+    try:
+        while heap:
+            u, du_reduced = heap.pop()
+            pops += 1
+            done[u] = True
+            if u == target:
+                break
+            du_true = int(dist[u])
+            for e in eids[starts[u] : starts[u + 1]]:
+                e = int(e)
+                v = int(heads[e])
+                if done[v]:
+                    continue
+                we = int(w[e])
+                if pi is not None:
+                    red = we + int(pi[u]) - int(pi[v])
+                else:
+                    red = we
+                if red < 0:
+                    raise GraphError(
+                        f"negative reduced weight {red} on edge {e}"
+                        + ("" if pi is None else "; potentials invalid")
+                    )
+                cand_true = du_true + we
+                if cand_true < dist[v]:
+                    relaxations += 1
+                    dist[v] = cand_true
+                    pred[v] = e
+                    heap.push_or_decrease(v, du_reduced + red)
+    finally:
+        obs.add("dijkstra.pops", pops)
+        obs.add("dijkstra.relaxations", relaxations)
     return dist, pred
 
 
-def extract_path(pred_edge: np.ndarray, g: DiGraph, target: int) -> list[int]:
+def extract_path(
+    pred_edge: np.ndarray,
+    g: DiGraph,
+    target: int,
+    source: int | None = None,
+    dist: np.ndarray | None = None,
+) -> list[int]:
     """Edge-id path from the search source to ``target`` via ``pred_edge``.
 
-    Returns ``[]`` when ``target`` was the source. Callers must check
-    reachability (``dist[target] < INF``) before extracting.
+    ``pred_edge[target] == -1`` is ambiguous on its own: it marks both the
+    source (empty path — a real answer) and an unreachable vertex (no path
+    at all). Historically both cases returned ``[]``, which let a missed
+    reachability check turn "no path" into "free path" downstream. Now the
+    empty path is returned only when ``target`` is provably the source —
+    pass ``source`` (the search's start vertex) or ``dist`` (its distance
+    array: the source is the unique ``pred == -1`` vertex with finite
+    distance) — and every other ``-1`` raises :class:`GraphError`. Calls
+    that pass neither keep raising for non-source ``-1`` targets, and raise
+    an "ambiguous" error for the source-or-unreachable case.
     """
     path: list[int] = []
     v = target
     guard = 0
+    if int(pred_edge[target]) == -1:
+        if source is not None:
+            if target == source:
+                return []
+            raise GraphError(f"target {target} unreachable from source {source}")
+        if dist is not None:
+            if int(dist[target]) < INF:
+                return []  # finite distance + no incoming edge == source
+            raise GraphError(f"target {target} unreachable (distance INF)")
+        raise GraphError(
+            f"target {target} has no predecessor: source or unreachable? "
+            "pass source= or dist= to extract_path to disambiguate"
+        )
     while pred_edge[v] != -1:
         e = int(pred_edge[v])
         path.append(e)

@@ -59,7 +59,7 @@ def _sp(g: DiGraph, s: int, t: int, weight) -> tuple[list[int], int]:
     dist, pred = dijkstra(g, s, weight=weight, target=t)
     if int(dist[t]) >= INF:
         raise GraphError("target unreachable")
-    return extract_path(pred, g, t), int(dist[t])
+    return extract_path(pred, g, t, source=s, dist=dist), int(dist[t])
 
 
 def larac(

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.paths.dijkstra import INF
+from repro.robustness.budget import checkpoint
 from repro._util.heap import AddressableHeap
 
 
@@ -61,6 +62,10 @@ def rsp_exact(
         zero_out.setdefault(int(tail[e]), []).append(int(e))
 
     for b in range(D + 1):
+        # Pseudo-polynomial in D: honor an ambient solve budget per layer
+        # so deadline-sliced callers (the greedy fallback tier) can bail.
+        if b % 256 == 0:
+            checkpoint("rsp_exact.layer")
         row = best[b]
         if b > 0 and len(pos_eids):
             src_layer = b - delay[pos_eids]

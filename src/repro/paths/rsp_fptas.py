@@ -132,11 +132,11 @@ def rsp_fptas(
     if int(dist_d[t]) > delay_bound:
         return None
     dist_c, pred_c = dijkstra(g, s, weight=g.cost)
-    min_cost_path = extract_path(pred_c, g, t)
+    min_cost_path = extract_path(pred_c, g, t, source=s, dist=dist_c)
     if g.delay_of(min_cost_path) <= delay_bound:
         # The globally cheapest path is already feasible: exact optimum.
         return int(dist_c[t]), min_cost_path
-    min_delay_path = extract_path(pred_d, g, t)
+    min_delay_path = extract_path(pred_d, g, t, source=s, dist=dist_d)
 
     lb = max(1, int(dist_c[t]))  # min cost over all paths <= OPT
     ub = max(lb, g.cost_of(min_delay_path))  # a feasible path's cost >= OPT

@@ -46,7 +46,7 @@ def _shortest_avoiding(
     dist, pred = dijkstra(sub, s, weight=weight[eids], target=t)
     if int(dist[t]) >= INF:
         return None
-    sub_path = extract_path(pred, sub, t)
+    sub_path = extract_path(pred, sub, t, source=s, dist=dist)
     return [int(eids[e]) for e in sub_path]
 
 

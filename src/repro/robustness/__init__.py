@@ -1,0 +1,69 @@
+"""Robustness layer: solve budgets, anytime results, fallback chain.
+
+Production solving must never trade a late answer for no answer. This
+package is the seam the whole stack routes through to guarantee that:
+
+* :mod:`repro.robustness.budget` — :class:`SolveBudget` (wall-clock
+  deadline, iteration cap, candidate-search node cap) and the cooperative
+  :class:`BudgetMeter` threaded through ``solve_krsp`` →
+  ``cancel_to_feasibility`` → the bicameral search → the phase-1/LP layers;
+* :mod:`repro.robustness.anytime` — the ``ok | degraded |
+  budget_exhausted`` status taxonomy and the quality
+  :class:`Certificate` every degraded answer carries;
+* :mod:`repro.robustness.fallback` — the deadline-sliced
+  ``bicameral → lp_rounding_2_2 → greedy_sequential`` degradation chain
+  with retry/backoff (``repro solve --deadline S --fallback``).
+
+Typical use::
+
+    from repro.core import solve_krsp
+    from repro.robustness import SolveBudget
+
+    sol = solve_krsp(g, s, t, k, D, budget=SolveBudget(deadline_seconds=2))
+    assert sol.status in ("ok", "degraded", "budget_exhausted")
+    print(sol.certificate.delay_slack, sol.certificate.cost_bound_ratio)
+
+See docs/ROBUSTNESS.md for the full semantics.
+"""
+
+from repro.robustness.anytime import (
+    STATUS_BUDGET_EXHAUSTED,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUSES,
+    Certificate,
+    make_certificate,
+)
+from repro.robustness.budget import (
+    BudgetMeter,
+    SolveBudget,
+    checkpoint,
+    current_meter,
+    metered,
+)
+from repro.robustness.fallback import (
+    DEFAULT_CHAIN,
+    TIER_GUARANTEES,
+    FallbackResult,
+    TierReport,
+    solve_with_fallback,
+)
+
+__all__ = [
+    "BudgetMeter",
+    "Certificate",
+    "DEFAULT_CHAIN",
+    "FallbackResult",
+    "STATUSES",
+    "STATUS_BUDGET_EXHAUSTED",
+    "STATUS_DEGRADED",
+    "STATUS_OK",
+    "SolveBudget",
+    "TIER_GUARANTEES",
+    "TierReport",
+    "checkpoint",
+    "current_meter",
+    "make_certificate",
+    "metered",
+    "solve_with_fallback",
+]

@@ -1,0 +1,99 @@
+"""Anytime-result vocabulary: statuses and degradation certificates.
+
+An anytime solver never answers "I ran out of time" with an exception —
+it answers with the best valid solution it has, *tagged* so the caller can
+tell how much trust to place in it:
+
+``STATUS_OK``
+    The full bifactor pipeline finished; the result is bit-identical to an
+    unbudgeted solve and carries the paper's (1, 2) / (1+eps, 2+eps)
+    guarantee.
+``STATUS_BUDGET_EXHAUSTED``
+    The budget tripped mid-pipeline; the result is the best **valid**
+    (k edge-disjoint s-t paths) solution seen so far, possibly
+    delay-infeasible. The certificate quantifies the miss.
+``STATUS_DEGRADED``
+    A weaker tier produced the answer — either the fallback chain dropped
+    to LP-rounding (bifactor (2, 2), Guo FAW 2014) or greedy-sequential
+    (no guarantee), or the cancellation loop stalled (state repetition
+    under estimated bounds) while still holding a valid solution.
+
+The :class:`Certificate` is the machine-checkable residue of a degraded
+answer: how far over the delay budget it is (``delay_slack < 0`` means
+infeasible by that much) and how far its cost sits above the certified
+lower bound (``cost_bound_gap`` / ``cost_bound_ratio``). See
+docs/ROBUSTNESS.md for the taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from fractions import Fraction
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_BUDGET_EXHAUSTED = "budget_exhausted"
+
+#: All statuses a budgeted solve can report, in decreasing order of trust.
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_BUDGET_EXHAUSTED)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """What a non-``ok`` (or any) result can still prove about itself.
+
+    Attributes
+    ----------
+    delay_slack:
+        ``delay_bound - delay``. Nonnegative iff the answer is
+        delay-feasible; ``-x`` means the budget is missed by ``x``.
+    cost_bound_gap:
+        ``cost - lower_bound`` against the certified C_OPT lower bound
+        (``None`` when no bound survived, e.g. after epsilon-scaling).
+    cost_bound_ratio:
+        ``cost / lower_bound`` (``None`` without a positive bound) — an
+        upper bound on the true approximation ratio.
+    exhausted_reason:
+        ``"deadline" | "iterations" | "search_nodes" | "stalled"`` when
+        the pipeline stopped early, else ``None``.
+    elapsed_seconds, iterations_used, search_nodes_used:
+        Budget odometer at the time the result was sealed (zeros when the
+        solve ran unbudgeted).
+    """
+
+    delay_slack: int
+    cost_bound_gap: float | None = None
+    cost_bound_ratio: float | None = None
+    exhausted_reason: str | None = None
+    elapsed_seconds: float = 0.0
+    iterations_used: int = 0
+    search_nodes_used: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def make_certificate(
+    cost: int,
+    delay: int,
+    delay_bound: int,
+    lower_bound: Fraction | None,
+    exhausted_reason: str | None = None,
+    usage: dict | None = None,
+) -> Certificate:
+    """Build a :class:`Certificate` from solve outputs and meter usage."""
+    gap = ratio = None
+    if lower_bound is not None:
+        gap = float(Fraction(cost) - lower_bound)
+        if lower_bound > 0:
+            ratio = float(Fraction(cost) / lower_bound)
+    usage = usage or {}
+    return Certificate(
+        delay_slack=delay_bound - delay,
+        cost_bound_gap=gap,
+        cost_bound_ratio=ratio,
+        exhausted_reason=exhausted_reason,
+        elapsed_seconds=float(usage.get("elapsed_seconds", 0.0)),
+        iterations_used=int(usage.get("iterations_used", 0)),
+        search_nodes_used=int(usage.get("search_nodes_used", 0)),
+    )

@@ -24,6 +24,7 @@ PUBLIC_PACKAGES = [
     "repro.eval",
     "repro.oracle",
     "repro.obs",
+    "repro.robustness",
 ]
 
 
@@ -43,7 +44,8 @@ def test_all_public_names_documented(mod_name):
 @pytest.mark.parametrize(
     "fname",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
-     "docs/API.md", "docs/TESTING.md", "docs/OBSERVABILITY.md"],
+     "docs/API.md", "docs/TESTING.md", "docs/OBSERVABILITY.md",
+     "docs/ROBUSTNESS.md"],
 )
 def test_top_level_documents_exist(fname):
     path = ROOT / fname

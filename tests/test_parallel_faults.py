@@ -1,0 +1,155 @@
+"""Fault-tolerance tests for the parallel harness (ISSUE satellite 1).
+
+The original ``pool.map`` implementation returned one aggregated result, so
+a single crashed worker (``BrokenProcessPool``) aborted the sweep and threw
+away every record that had already completed. These tests kill, hang, and
+blow up workers mid-sweep and assert the new invariant: **one record per
+submitted trial, always**, with completed work preserved.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.parallel import run_trials_parallel
+from repro.eval.workloads import er_anticorrelated
+from repro.oracle.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_plan_from_dict,
+    fault_spec_from_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    insts = list(er_anticorrelated(n=10, n_instances=4, seed=7))
+    insts += list(er_anticorrelated(n=10, n_instances=4, seed=11))
+    assert len(insts) >= 4
+    return insts
+
+
+class TestFaultSpecs:
+    def test_round_trip(self):
+        spec = FaultSpec(kind="kill", at="worker", attempts=(1,))
+        assert fault_spec_from_dict(spec.to_dict()) == spec
+        plan = FaultPlan(by_seed={3: spec})
+        assert fault_plan_from_dict(plan.to_dict()).spec_for(3) == spec
+        assert fault_plan_from_dict(None).spec_for(3) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor")
+
+    def test_attempt_filter(self):
+        spec = FaultSpec(kind="raise", attempts=(1,))
+        assert spec.fires("worker", 1)
+        assert not spec.fires("worker", 2)
+
+    def test_point_filter_and_fire(self):
+        spec = FaultSpec(kind="raise", at="bicameral")
+        assert spec.fires("bicameral.attempt1")
+        assert not spec.fires("worker")
+        with pytest.raises(InjectedFault):
+            spec.fire()
+
+
+class TestWorkerExceptions:
+    def test_foreign_exception_becomes_error_record(self, instances):
+        # Regression: non-ReproError worker exceptions used to escape
+        # pool.map and abort the entire sweep.
+        victim = instances[1].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="raise")})
+        records = run_trials_parallel(
+            instances, ["bicameral"], max_workers=2, fault_plan=plan
+        )
+        assert len(records) == len(instances)
+        by_seed = {r.seed: r for r in records}
+        assert by_seed[victim].status == "error"
+        assert "InjectedFault" in by_seed[victim].extra["error"]
+        assert all(
+            r.status == "ok" for r in records if r.seed != victim
+        )
+
+    def test_iteration_limit_becomes_error_record(self, instances):
+        victim = instances[0].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="iteration_limit")})
+        records = run_trials_parallel(
+            instances[:2], ["bicameral"], max_workers=2, fault_plan=plan
+        )
+        by_seed = {r.seed: r for r in records}
+        assert by_seed[victim].status == "error"
+        assert "IterationLimitError" in by_seed[victim].extra["error"]
+
+
+class TestWorkerCrash:
+    def test_kill_mid_sweep_preserves_completed_records(self, instances, tmp_path):
+        # The headline regression: SIGKILL one worker mid-sweep. With one
+        # worker and the victim last, every earlier trial has completed
+        # when the pool breaks — those records must survive.
+        victim = instances[-1].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="kill")})
+        jsonl = tmp_path / "records.jsonl"
+        records = run_trials_parallel(
+            instances, ["bicameral"], max_workers=1,
+            fault_plan=plan, jsonl_path=jsonl,
+        )
+        assert len(records) == len(instances)  # one record per trial
+        by_seed = {r.seed: r for r in records}
+        assert by_seed[victim].status == "crashed"
+        for inst in instances[:-1]:
+            assert by_seed[inst.seed].status == "ok"
+        # Incremental persistence captured every finalized record.
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert len(lines) == len(instances)
+        assert {l["seed"] for l in lines} == {i.seed for i in instances}
+
+    def test_transient_kill_recovers_via_respawn(self, instances):
+        # attempts=(1,) models a transient crash: the respawned pool's
+        # retry succeeds, so the sweep ends with zero lost trials.
+        victim = instances[1].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="kill", attempts=(1,))})
+        records = run_trials_parallel(
+            instances, ["bicameral"], max_workers=2, fault_plan=plan
+        )
+        assert len(records) == len(instances)
+        assert all(r.status == "ok" for r in records)
+
+    def test_deterministic_record_order(self, instances):
+        # Records come back in (instance, solver) submission order even
+        # when completion order is scrambled by a crash + retry.
+        victim = instances[0].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="kill", attempts=(1,))})
+        records = run_trials_parallel(
+            instances, ["bicameral", "minsum"], max_workers=2, fault_plan=plan
+        )
+        expected = [(i.seed, s) for i in instances for s in ("bicameral", "minsum")]
+        assert [(r.seed, r.solver) for r in records] == expected
+
+
+class TestTimeouts:
+    def test_hung_worker_becomes_timeout_record(self, instances):
+        # A sleeping worker trips the harness-side stall guard; everyone
+        # else finishes normally.
+        victim = instances[1].seed
+        plan = FaultPlan(by_seed={victim: FaultSpec(kind="sleep", seconds=5.0)})
+        records = run_trials_parallel(
+            instances, ["bicameral"], max_workers=2,
+            fault_plan=plan, trial_timeout=0.3, stall_grace=0.5,
+        )
+        assert len(records) == len(instances)
+        by_seed = {r.seed: r for r in records}
+        assert by_seed[victim].status == "timeout"
+        assert all(r.status == "ok" for r in records if r.seed != victim)
+
+    def test_budgeted_bicameral_answers_within_timeout(self, instances):
+        # The bicameral solver absorbs the per-trial budget anytime-style:
+        # the record is ok (an answer exists) with the solve status noted.
+        records = run_trials_parallel(
+            instances[:2], ["bicameral"], max_workers=2, trial_timeout=60.0
+        )
+        assert all(r.status == "ok" for r in records)
+        assert all(r.extra.get("solve_status") in ("ok", "degraded",
+                                                   "budget_exhausted")
+                   for r in records)

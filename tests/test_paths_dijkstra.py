@@ -26,7 +26,23 @@ class TestBasics:
         g, ids = from_edges([("a", "b", 1, 0)])
         dist, pred = dijkstra(g, ids["a"])
         assert dist[ids["a"]] == 0
-        assert extract_path(pred, g, ids["a"]) == []
+        assert extract_path(pred, g, ids["a"], source=ids["a"]) == []
+        assert extract_path(pred, g, ids["a"], dist=dist) == []
+
+    def test_extract_path_unreachable_raises(self):
+        # Regression: unreachable targets used to come back as [] — the
+        # same value as the genuine empty source path — so a missed
+        # reachability check silently turned "no path" into "free path".
+        g, ids = from_edges([("a", "b", 1, 0)], nodes=["a", "b", "z"])
+        dist, pred = dijkstra(g, ids["a"])
+        with pytest.raises(GraphError, match="unreachable"):
+            extract_path(pred, g, ids["z"], source=ids["a"])
+        with pytest.raises(GraphError, match="unreachable"):
+            extract_path(pred, g, ids["z"], dist=dist)
+        # Without source/dist the source-or-unreachable case is ambiguous
+        # and must refuse rather than guess.
+        with pytest.raises(GraphError, match="ambiguous|disambiguate"):
+            extract_path(pred, g, ids["z"])
 
     def test_parallel_edges_take_cheaper(self):
         g, ids = from_edges([("a", "b", 9, 0), ("a", "b", 4, 0)])
@@ -50,6 +66,20 @@ class TestBasics:
         )
         dist, _ = dijkstra(g, ids["a"], target=ids["b"])
         assert dist[ids["b"]] == 1
+
+    def test_counters_flushed_on_mid_search_failure(self):
+        # Regression: the work counters used to flush only on the success
+        # path, so a GraphError raised mid-search (negative weight hit
+        # after some pops/relaxations) lost the record of the work done —
+        # exactly the trials where triage needs it most.
+        from repro import obs
+
+        g, ids = from_edges([("a", "b", 1, 0), ("b", "c", -5, 0)])
+        with obs.session() as tel:
+            with pytest.raises(GraphError):
+                dijkstra(g, ids["a"])
+        assert tel.counters.get("dijkstra.pops", 0) >= 2
+        assert tel.counters.get("dijkstra.relaxations", 0) >= 1
 
     def test_weight_length_mismatch(self):
         g, ids = from_edges([("a", "b", 1, 0)])
@@ -97,7 +127,7 @@ def test_matches_networkx_random(seed):
         if v in nx_dist:
             assert int(dist[v]) == nx_dist[v]
             # Extracted path must be a real path achieving the distance.
-            path = extract_path(pred, g, v)
+            path = extract_path(pred, g, v, source=0, dist=dist)
             assert g.cost_of(path) == nx_dist[v]
         else:
             assert dist[v] == INF
