@@ -86,17 +86,28 @@ class AuxGraph:
         return [int(self.orig_eid[e]) for e in h_edges if self.orig_eid[e] >= 0]
 
 
+def layer_window_counts(cost: np.ndarray, B: int) -> np.ndarray:
+    """Per-edge copy count in the shifted graph of radius ``B``.
+
+    Equals ``max(0, 2B + 1 - |c|)`` — symmetric in the sign of ``c``, which
+    is what lets :class:`repro.perf.auxcache.AuxCache` patch a cancelled
+    cycle's copies *in place*: negating an edge's cost never changes how
+    many layer copies it owns, only which layers they sit on.
+    """
+    return np.maximum(2 * B + 1 - np.abs(np.asarray(cost, dtype=np.int64)), 0)
+
+
 def _layered_edges(
     g: DiGraph,
     n_layers: int,
     lo_layer_by_edge: np.ndarray,
     hi_layer_by_edge: np.ndarray,
-) -> tuple[list[int], list[int], list[int], list[int], list[int]]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Replicate every residual edge across its admissible layer window.
 
-    Returns parallel lists (tails, heads, costs, delays, orig_eids) in H
-    node ids. Fully vectorized: one ``repeat`` to fan edges out over their
-    windows and one ramp subtraction to produce per-copy layers — the
+    Returns parallel int64 arrays (tails, heads, costs, delays, orig_eids)
+    in H node ids. Fully vectorized: one ``repeat`` to fan edges out over
+    their windows and one ramp subtraction to produce per-copy layers — the
     construction is called once per sweep level, so this is the hot path
     of the bicameral search after the LPs themselves.
     """
@@ -104,8 +115,9 @@ def _layered_edges(
     hi = np.asarray(hi_layer_by_edge, dtype=np.int64)
     counts = np.maximum(hi - lo + 1, 0)
     total = int(counts.sum())
+    z = np.zeros(0, dtype=np.int64)
     if total == 0:
-        return [], [], [], [], []
+        return z, z, z, z, z
     eids = np.repeat(np.arange(g.m, dtype=np.int64), counts)
     # Per-copy layer: a global ramp minus each edge's segment start offset.
     starts = np.zeros(g.m, dtype=np.int64)
@@ -114,13 +126,33 @@ def _layered_edges(
     layers = lo[eids] + (ramp - starts[eids])
     tails = g.tail[eids] * n_layers + layers
     heads = g.head[eids] * n_layers + layers + g.cost[eids]
-    return (
-        tails.tolist(),
-        heads.tolist(),
-        g.cost[eids].tolist(),
-        g.delay[eids].tolist(),
-        eids.tolist(),
-    )
+    return tails, heads, g.cost[eids], g.delay[eids], eids
+
+
+def shifted_wrap_arrays(
+    n: int, B: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Wrap edges of the shifted graph, vectorized: (tails, heads, costs).
+
+    Ordering is vertex-major with ``c0 = 1..B`` inner and the ``(+c0,
+    -c0)`` pair innermost — the enumeration order the original Python loop
+    produced, kept bit-identical so cached and from-scratch constructions
+    agree edge for edge. Wraps depend only on ``(n, B)`` (never on the
+    residual weights), which is what makes them shareable across
+    cancellation iterations.
+    """
+    n_layers = 2 * B + 1
+    base = np.arange(n, dtype=np.int64) * n_layers + B  # (v, cost 0) node
+    c0 = np.arange(1, B + 1, dtype=np.int64)
+    # Shape (n, B, 2): [..., 0] is the +c0 wrap, [..., 1] the -c0 wrap.
+    tails = np.stack(
+        [base[:, None] + c0[None, :], base[:, None] - c0[None, :]], axis=2
+    ).reshape(-1)
+    heads = np.repeat(base, 2 * B)
+    wrap_cost = np.broadcast_to(
+        np.stack([c0, -c0], axis=1)[None, :, :], (n, B, 2)
+    ).reshape(-1)
+    return tails, heads, wrap_cost.astype(np.int64, copy=True)
 
 
 def build_aux_shifted(res: DiGraph, B: int) -> AuxGraph:
@@ -142,35 +174,19 @@ def build_aux_shifted(res: DiGraph, B: int) -> AuxGraph:
     lo = np.maximum(0, -c)
     hi = np.minimum(n_layers - 1, n_layers - 1 - c)
     tails, heads, costs, delays, origs = _layered_edges(res, n_layers, lo, hi)
+    w_tails, w_heads, w_costs = shifted_wrap_arrays(res.n, B)
 
-    wrap_costs_list: list[int] = []
-    for v in range(res.n):
-        base = v * n_layers + offset
-        for c0 in range(1, B + 1):
-            tails.append(base + c0)
-            heads.append(base)
-            costs.append(0)
-            delays.append(0)
-            origs.append(-1)
-            wrap_costs_list.append(c0)
-            tails.append(base - c0)
-            heads.append(base)
-            costs.append(0)
-            delays.append(0)
-            origs.append(-1)
-            wrap_costs_list.append(-c0)
-
-    m_h = len(tails)
+    n_wraps = len(w_tails)
+    zeros = np.zeros(n_wraps, dtype=np.int64)
     graph = DiGraph(
         res.n * n_layers,
-        np.array(tails, dtype=np.int64),
-        np.array(heads, dtype=np.int64),
-        np.array(costs, dtype=np.int64),
-        np.array(delays, dtype=np.int64),
+        np.concatenate([tails, w_tails]),
+        np.concatenate([heads, w_heads]),
+        np.concatenate([costs, zeros]),
+        np.concatenate([delays, zeros]),
     )
-    orig_eid = np.array(origs, dtype=np.int64)
-    wrap_cost = np.zeros(m_h, dtype=np.int64)
-    wrap_cost[orig_eid < 0] = np.array(wrap_costs_list, dtype=np.int64)
+    orig_eid = np.concatenate([origs, np.full(n_wraps, -1, dtype=np.int64)])
+    wrap_cost = np.concatenate([np.zeros(len(tails), dtype=np.int64), w_costs])
     return AuxGraph(
         graph=graph,
         n_base=res.n,
@@ -201,36 +217,28 @@ def build_aux_paper(res: DiGraph, v: int, B: int, sign: int) -> AuxGraph:
     hi = np.minimum(n_layers - 1, n_layers - 1 - c)
     tails, heads, costs, delays, origs = _layered_edges(res, n_layers, lo, hi)
 
-    wrap_costs_list: list[int] = []
     base = v * n_layers
     if sign > 0:
-        for i in range(1, B + 1):
-            tails.append(base + i)
-            heads.append(base + 0)
-            costs.append(0)
-            delays.append(0)
-            origs.append(-1)
-            wrap_costs_list.append(i)
+        # v^i -> v^0 for i = 1..B, certifying cycle cost +i.
+        w_tails = base + np.arange(1, B + 1, dtype=np.int64)
+        w_heads = np.full(B, base, dtype=np.int64)
+        w_costs = np.arange(1, B + 1, dtype=np.int64)
     else:
-        for i in range(0, B):
-            tails.append(base + i)
-            heads.append(base + B)
-            costs.append(0)
-            delays.append(0)
-            origs.append(-1)
-            wrap_costs_list.append(i - B)
+        # v^i -> v^B for i = 0..B-1, certifying cycle cost i - B.
+        w_tails = base + np.arange(0, B, dtype=np.int64)
+        w_heads = np.full(B, base + B, dtype=np.int64)
+        w_costs = np.arange(0, B, dtype=np.int64) - B
 
-    m_h = len(tails)
+    zeros = np.zeros(B, dtype=np.int64)
     graph = DiGraph(
         res.n * n_layers,
-        np.array(tails, dtype=np.int64),
-        np.array(heads, dtype=np.int64),
-        np.array(costs, dtype=np.int64),
-        np.array(delays, dtype=np.int64),
+        np.concatenate([tails, w_tails]),
+        np.concatenate([heads, w_heads]),
+        np.concatenate([costs, zeros]),
+        np.concatenate([delays, zeros]),
     )
-    orig_eid = np.array(origs, dtype=np.int64)
-    wrap_cost = np.zeros(m_h, dtype=np.int64)
-    wrap_cost[orig_eid < 0] = np.array(wrap_costs_list, dtype=np.int64)
+    orig_eid = np.concatenate([origs, np.full(B, -1, dtype=np.int64)])
+    wrap_cost = np.concatenate([np.zeros(len(tails), dtype=np.int64), w_costs])
     # offset: in H^+, cycles start at layer 0 (cost level 0 == layer 0);
     # in H^-, cycles start at layer B. Encode via offset so node() maps
     # cost-level 0 to the start layer.

@@ -115,11 +115,26 @@ def cancel_to_feasibility(
     strict_monitor: bool = False,
     finder: str = "production",
     meter: BudgetMeter | None = None,
+    incremental: bool | None = None,
+    anchor_workers: int | None = None,
 ) -> CancellationResult:
     """Drive ``start`` to delay feasibility via bicameral cancellation.
 
     Parameters
     ----------
+    incremental:
+        Use the :mod:`repro.perf` incremental search engine: the residual
+        graph is kept alive across iterations and advanced by in-place
+        edge flips, and auxiliary graphs come from a version-keyed cache.
+        For the production finder this is **bit-identical** to the
+        from-scratch path (differentially tested) and is the default
+        (``None`` resolves to ``finder == "production"``). For
+        ``paper_literal`` it additionally enables dirty-anchor replay —
+        a documented heuristic (see :mod:`repro.perf.anchors`) — so it
+        stays opt-in there.
+    anchor_workers:
+        With the incremental paper-literal finder, fan dirty anchors out
+        over this many pool workers (``None``/``1`` = in-process).
     meter:
         Armed :class:`repro.robustness.BudgetMeter` for **anytime**
         semantics: every stopping rule (deadline, iteration caps, search
@@ -169,6 +184,15 @@ def cancel_to_feasibility(
     # what an exhausted budget hands back instead of raising.
     best = sol
 
+    use_incremental = (
+        incremental if incremental is not None else finder == "production"
+    )
+    engine = None
+    if use_incremental:
+        from repro.perf import IncrementalSearch
+
+        engine = IncrementalSearch(g)
+
     while sol.delay > D:
         if result.iterations >= max_iterations:
             if meter is not None:
@@ -186,7 +210,11 @@ def cancel_to_feasibility(
                 break
         r_before = _r_value(D, cost_bound, sol)
 
-        residual = build_residual(g, sol.edge_ids)
+        residual = (
+            engine.residual_for(sol.edge_ids)
+            if engine is not None
+            else build_residual(g, sol.edge_ids)
+        )
         delta_d = D - sol.delay  # < 0 here
         delta_c_int: int | None = None
         if cost_bound is not None:
@@ -200,9 +228,21 @@ def cancel_to_feasibility(
             delta_c_soft = cost_cap - sol.cost
         try:
             if finder == "paper_literal":
-                candidates = find_bicameral_candidates_paper(
-                    residual, delta_d, stats=result.search_stats, meter=meter
-                )
+                if engine is not None:
+                    from repro.perf import find_bicameral_candidates_paper_tracked
+
+                    candidates = find_bicameral_candidates_paper_tracked(
+                        residual,
+                        delta_d,
+                        engine.tracker,
+                        stats=result.search_stats,
+                        meter=meter,
+                        max_workers=anchor_workers,
+                    )
+                else:
+                    candidates = find_bicameral_candidates_paper(
+                        residual, delta_d, stats=result.search_stats, meter=meter
+                    )
                 picked = select_candidate(
                     candidates,
                     delta_d,
@@ -231,6 +271,7 @@ def cancel_to_feasibility(
                     # undo the previous type-1 step; rank it behind type-1 then.
                     type2_only_if_no_type1=opt_cost is None,
                     meter=meter,
+                    aux_provider=engine.aux_provider if engine is not None else None,
                 )
         except BudgetExhaustedError as exc:
             # A budget can only trip here when a meter was passed; the

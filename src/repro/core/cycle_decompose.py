@@ -13,6 +13,8 @@ Two decomposition duties in the cancellation machinery:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.graph.validate import degree_imbalance
@@ -29,15 +31,26 @@ def decompose_into_cycles(g: DiGraph, edge_ids) -> list[list[int]]:
         raise GraphError("cycle decomposition input has duplicate edges")
     if degree_imbalance(g, eids).any():
         raise GraphError("edge set is not balanced — not a union of cycles")
+    eid_arr = np.asarray(eids, dtype=np.int64)
+    tails = g.tail[eid_arr].tolist()
+    head_of = dict(zip(eids, g.head[eid_arr].tolist()))
     out: dict[int, list[int]] = {}
-    for e in eids:
-        out.setdefault(int(g.tail[e]), []).append(e)
+    for e, u in zip(eids, tails):
+        out.setdefault(u, []).append(e)
     for stack in out.values():
         stack.sort(reverse=True)
     remaining = len(eids)
     cycles: list[list[int]] = []
+    # Stacks only ever pop, so the smallest vertex with a nonempty stack is
+    # non-decreasing over the peel — an advancing pointer over the sorted
+    # tail vertices replaces a full min-scan per cycle (which was quadratic
+    # in the number of peeled cycles).
+    anchors = sorted(out)
+    ai = 0
     while remaining:
-        anchor = min(u for u, stack in out.items() if stack)
+        while not out[anchors[ai]]:
+            ai += 1
+        anchor = anchors[ai]
         walk: list[int] = []
         cur = anchor
         while True:
@@ -47,7 +60,7 @@ def decompose_into_cycles(g: DiGraph, edge_ids) -> list[list[int]]:
             e = stack.pop()
             walk.append(e)
             remaining -= 1
-            cur = int(g.head[e])
+            cur = head_of[e]
             if cur == anchor:
                 break
             if len(walk) > len(eids):
@@ -67,34 +80,38 @@ def split_closed_walk(g: DiGraph, walk: list[int]) -> list[list[int]]:
     """
     if not walk:
         return []
-    start = int(g.tail[walk[0]])
+    # One vectorized gather of walk endpoints up front; the per-edge loop
+    # then works on plain Python ints (no numpy scalar extraction per step).
+    walk_arr = np.asarray(walk, dtype=np.int64)
+    tails = g.tail[walk_arr].tolist()
+    heads = g.head[walk_arr].tolist()
+    start = tails[0]
     # Verify closedness.
     cur = start
-    for e in walk:
-        if int(g.tail[e]) != cur:
+    for i in range(len(walk)):
+        if tails[i] != cur:
             raise GraphError("not a contiguous walk")
-        cur = int(g.head[e])
+        cur = heads[i]
     if cur != start:
         raise GraphError("walk is not closed")
 
     cycles: list[list[int]] = []
-    stack: list[int] = []  # edges
+    stack: list[int] = []  # indices into walk
     on_stack_pos: dict[int, int] = {start: 0}  # vertex -> stack depth
-    for e in walk:
-        stack.append(e)
-        v = int(g.head[e])
+    for i in range(len(walk)):
+        stack.append(i)
+        v = heads[i]
         if v in on_stack_pos:
             depth = on_stack_pos[v]
-            cycle = stack[depth:]
+            cyc_idx = stack[depth:]
             del stack[depth:]
             # Remove vertices of the popped cycle from the position map
             # (they are no longer on the open walk), except v itself.
-            cur2 = v
-            for ce in cycle:
-                u2 = int(g.tail[ce])
+            for j in cyc_idx:
+                u2 = tails[j]
                 if u2 != v:
                     on_stack_pos.pop(u2, None)
-            cycles.append(cycle)
+            cycles.append([walk[j] for j in cyc_idx])
         else:
             on_stack_pos[v] = len(stack)
     if stack:

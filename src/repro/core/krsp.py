@@ -150,6 +150,7 @@ def solve_krsp(
     strict_monitor: bool = False,
     finder: str = "production",
     budget: SolveBudget | None = None,
+    incremental: bool | None = None,
 ) -> KRSPSolution:
     """Solve kRSP with the paper's bifactor algorithm.
 
@@ -169,6 +170,11 @@ def solve_krsp(
         :mod:`repro.core.cancellation`).
     opt_cost, strict_monitor, finder:
         Instrumentation / fidelity knobs — see
+        :func:`cancel_to_feasibility`.
+    incremental:
+        Incremental search engine toggle (:mod:`repro.perf`); ``None``
+        auto-enables it for the production finder, where it is
+        bit-identical to the from-scratch path — see
         :func:`cancel_to_feasibility`.
     budget:
         Cooperative :class:`repro.robustness.SolveBudget` enabling
@@ -197,12 +203,14 @@ def solve_krsp(
             sol = _solve_krsp_impl(
                 g, s, t, k, delay_bound, phase1, eps, b_max,
                 max_iterations, opt_cost, strict_monitor, finder, meter,
+                incremental,
             )
         sol.counters = dict(tel.counters)
         return sol
     return _solve_krsp_impl(
         g, s, t, k, delay_bound, phase1, eps, b_max,
         max_iterations, opt_cost, strict_monitor, finder, meter,
+        incremental,
     )
 
 
@@ -220,6 +228,7 @@ def _solve_krsp_impl(
     strict_monitor: bool,
     finder: str,
     meter: BudgetMeter | None = None,
+    incremental: bool | None = None,
 ) -> KRSPSolution:
     """The pipeline body of :func:`solve_krsp` (telemetry-agnostic)."""
     timer = Timer(span_prefix="krsp")
@@ -317,6 +326,7 @@ def _solve_krsp_impl(
                     max_iterations=max_iterations,
                     strict_monitor=strict_monitor and not scaled,
                     finder=finder,
+                    incremental=incremental,
                 )
             exhausted = result.exhausted
         except BudgetExhaustedError as exc:

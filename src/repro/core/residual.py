@@ -38,14 +38,53 @@ class ResidualGraph:
     reversed_mask:
         Boolean array: ``reversed_mask[i]`` iff original edge ``i`` is in
         the solution and therefore appears reversed/negated.
+    version:
+        Edge-set version, bumped by every :meth:`apply_flip`. Cache keys in
+        :mod:`repro.perf` are ``(id(residual), version, B)`` — any in-place
+        delta invalidates everything keyed on the old version.
     """
 
     graph: DiGraph
     reversed_mask: np.ndarray
+    version: int = 0
 
     @property
     def m(self) -> int:
         return self.graph.m
+
+    def apply_flip(self, edge_ids) -> np.ndarray:
+        """Flip ``edge_ids`` in place (Def. 6 reversal toggle); bump version.
+
+        The incremental counterpart of calling :func:`build_residual` with
+        the next solution: flipping edge ``i`` swaps its endpoints and
+        negates both weights via :meth:`DiGraph.flip_edges` (CSR indices
+        patched, not rebuilt) and toggles ``reversed_mask[i]``. Passing the
+        symmetric difference ``old_solution ^ new_solution`` makes this
+        graph bit-identical to ``build_residual(g, new_solution).graph``.
+
+        Returns the flipped ids (unique, sorted).
+        """
+        eids = np.unique(np.asarray(list(edge_ids), dtype=np.int64))
+        self.graph.flip_edges(eids)
+        self.reversed_mask[eids] = ~self.reversed_mask[eids]
+        object.__setattr__(self, "version", self.version + 1)
+        obs.inc("residual.delta_applies")
+        obs.add("residual.delta_edges_flipped", len(eids))
+        return eids
+
+    def apply_cycle(self, old_solution_edges, cycles: list[list[int]]) -> list[int]:
+        """Apply ``oplus`` *and* update this residual in place.
+
+        Computes the new solution via :func:`apply_residual_cycles`, then
+        flips exactly the edges whose membership changed (the symmetric
+        difference, which covers both the cancelled cycles and any edges
+        the caller's cycle set touches twice would have rejected anyway).
+        Returns the new solution edge ids, sorted.
+        """
+        new_solution = apply_residual_cycles(old_solution_edges, self, cycles)
+        diff = set(int(e) for e in old_solution_edges) ^ set(new_solution)
+        self.apply_flip(sorted(diff))
+        return new_solution
 
 
 def build_residual(g: DiGraph, solution_edges) -> ResidualGraph:
@@ -60,6 +99,9 @@ def build_residual(g: DiGraph, solution_edges) -> ResidualGraph:
         if int(mask.sum()) != len(idx):
             raise GraphError("solution edge set contains duplicates")
 
+    # Every array here is freshly allocated (np.where / elementwise product),
+    # so the residual exclusively owns them — the precondition for the
+    # in-place apply_flip delta path.
     tail = np.where(mask, g.head, g.tail)
     head = np.where(mask, g.tail, g.head)
     sign = np.where(mask, -1, 1).astype(np.int64)

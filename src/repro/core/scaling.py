@@ -94,14 +94,14 @@ def scale_instance(
         new_bound = (inst.delay_bound * theta_d.denominator) // theta_d.numerator
     else:
         theta_d = Fraction(1)
-        delay = g.delay.copy()
+        delay = g.delay  # unscaled: share the parent array (copy-on-write)
         new_bound = inst.delay_bound
 
     if theta_c > 1:
         cost = _floor_scale(g.cost, theta_c)
     else:
         theta_c = Fraction(1)
-        cost = g.cost.copy()
+        cost = g.cost  # unscaled: share the parent array (copy-on-write)
 
     scaled = KRSPInstance(
         graph=g.with_weights(cost, delay),

@@ -22,17 +22,25 @@ one exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro import obs
-from repro.core.auxgraph import build_aux_shifted
+from repro.core.auxgraph import AuxGraph, build_aux_shifted
 from repro.core.auxlp import candidates_from_circulation, solve_ratio_lp
 from repro.core.bicameral import CandidateCycle, CycleType, classify
 from repro.core.cycle_decompose import split_closed_walk
 from repro.core.residual import ResidualGraph
 from repro.paths.bellman_ford import find_negative_cycle
 from repro.robustness.budget import BudgetMeter
+
+#: Auxiliary-graph construction hook: ``(residual DiGraph, B) -> AuxGraph``,
+#: signature-compatible with :func:`build_aux_shifted`. The incremental
+#: engine (:mod:`repro.perf`) plugs its cache in here; any provider must
+#: return graphs bit-identical to a fresh build for the search to stay
+#: equivalent to the from-scratch path.
+AuxProvider = Callable[..., AuxGraph]
 
 
 @dataclass
@@ -123,8 +131,15 @@ def find_bicameral_cycle(
     delta_c_soft: int | None = None,
     type2_only_if_no_type1: bool = False,
     meter: BudgetMeter | None = None,
+    aux_provider: "AuxProvider | None" = None,
 ) -> tuple[CandidateCycle, CycleType] | None:
     """Search-and-select with early stopping (the production path).
+
+    ``aux_provider`` (signature-compatible with
+    :func:`~repro.core.auxgraph.build_aux_shifted`) swaps in a cached
+    construction — :meth:`repro.perf.IncrementalSearch.aux_provider` —
+    whose outputs are bit-identical to a fresh build, so the sweep's
+    control flow and every LP input are unchanged.
 
     Telemetry: runs under a ``search.bicameral`` span and flushes the
     per-call work (probes, LP solves, aux-graph sizes, candidates found)
@@ -150,6 +165,7 @@ def find_bicameral_cycle(
                 delta_c_soft=delta_c_soft,
                 type2_only_if_no_type1=type2_only_if_no_type1,
                 meter=meter,
+                aux_provider=aux_provider,
             )
         finally:
             stats._flush_delta(before)
@@ -166,6 +182,7 @@ def _find_bicameral_cycle_impl(
     delta_c_soft: int | None = None,
     type2_only_if_no_type1: bool = False,
     meter: BudgetMeter | None = None,
+    aux_provider: "AuxProvider | None" = None,
 ) -> tuple[CandidateCycle, CycleType] | None:
     """Search-and-select with early stopping (the production path).
 
@@ -261,9 +278,10 @@ def _find_bicameral_cycle_impl(
             return None
         return picked
 
+    build = aux_provider if aux_provider is not None else build_aux_shifted
     seen: set[tuple[int, ...]] = set(tuple(sorted(c.edges)) for c in candidates)
     while True:
-        aux = build_aux_shifted(g, b)
+        aux = build(g, b)
         stats.aux_nodes_built += aux.graph.n
         stats.aux_edges_built += aux.graph.m
         stats.b_values.append(b)
@@ -322,6 +340,7 @@ def find_bicameral_candidates(
     b_max: int | None = None,
     stats: SearchStats | None = None,
     meter: BudgetMeter | None = None,
+    aux_provider: "AuxProvider | None" = None,
 ) -> list[CandidateCycle]:
     """Collect candidate cycles for bicameral selection.
 
@@ -348,7 +367,9 @@ def find_bicameral_candidates(
     before = stats._snapshot()
     with obs.span("search.candidates_full"):
         try:
-            return _find_bicameral_candidates_impl(residual, b_max, stats, meter)
+            return _find_bicameral_candidates_impl(
+                residual, b_max, stats, meter, aux_provider
+            )
         finally:
             stats._flush_delta(before)
 
@@ -358,6 +379,7 @@ def _find_bicameral_candidates_impl(
     b_max: int | None,
     stats: SearchStats,
     meter: BudgetMeter | None = None,
+    aux_provider: "AuxProvider | None" = None,
 ) -> list[CandidateCycle]:
     """Body of :func:`find_bicameral_candidates` (telemetry-agnostic)."""
     g = residual.graph
@@ -372,10 +394,11 @@ def _find_bicameral_candidates_impl(
         b_max = max(1, total_abs_cost)
     b_max = max(1, min(b_max, max(1, total_abs_cost)))
 
+    build = aux_provider if aux_provider is not None else build_aux_shifted
     seen: set[tuple[int, ...]] = set(tuple(sorted(c.edges)) for c in candidates)
     b = 1
     while True:
-        aux = build_aux_shifted(g, b)
+        aux = build(g, b)
         stats.aux_nodes_built += aux.graph.n
         stats.aux_edges_built += aux.graph.m
         stats.b_values.append(b)

@@ -232,54 +232,115 @@ def run_trials_parallel(
                 }
             )
 
-    results: list[dict | None] = [None] * len(payloads)
     sink = open(jsonl_path, "a", encoding="utf-8") if jsonl_path is not None else None
 
-    def finalize(index: int, record: dict) -> None:
-        results[index] = record
+    def on_record(_index: int, record: dict) -> None:
         if sink is not None:
             sink.write(json.dumps(record) + "\n")
             sink.flush()
 
     try:
-        lost = _run_pool_round(payloads, list(range(len(payloads))), 1,
-                               max_workers, trial_timeout, stall_grace, finalize)
-        if lost:
-            # The pool broke (a worker died). Respawn once and retry only
-            # the trials whose results were lost — everything already
-            # finalized is kept.
-            obs.inc("parallel.pool_respawns")
-            obs.emit("parallel.pool_respawn", lost_trials=len(lost))
-            lost = _run_pool_round(payloads, lost, 2,
-                                   max_workers, trial_timeout, stall_grace, finalize)
-            for i in lost:
-                rec = _base_record(payloads[i])
-                rec.update(
-                    status="crashed",
-                    cost=None,
-                    delay=None,
-                    seconds=0.0,
-                    extra={"error": "worker process died (pool broke twice)"},
-                    counters={},
-                )
-                obs.inc("parallel.trials_crashed")
-                finalize(i, rec)
+        results = resilient_pool_map(
+            _run_one,
+            payloads,
+            max_workers=max_workers,
+            task_timeout=trial_timeout,
+            stall_grace=stall_grace,
+            failure_record=_trial_failure_record,
+            on_record=on_record,
+        )
     finally:
         if sink is not None:
             sink.close()
-
-    assert all(r is not None for r in results)  # one record per trial
     return [TrialRecord(**r) for r in results]
 
 
+def _trial_failure_record(
+    payload: dict, kind: str, detail: str, seconds: float
+) -> dict:
+    """Map generic pool-failure kinds onto the trial-record status taxonomy."""
+    rec = _base_record(payload)
+    status = {"stalled": "timeout", "crashed": "crashed", "error": "error"}[kind]
+    rec.update(
+        status=status,
+        cost=None,
+        delay=None,
+        seconds=seconds,
+        extra={"error": detail},
+        counters={},
+    )
+    return rec
+
+
+def resilient_pool_map(
+    fn: Callable[[dict], dict],
+    payloads: list[dict],
+    *,
+    max_workers: int | None = None,
+    task_timeout: float | None = None,
+    stall_grace: float = 5.0,
+    failure_record: Callable[[dict, str, str, float], dict],
+    on_record: Callable[[int, dict], None] | None = None,
+) -> list[dict]:
+    """Generic fault-tolerant process-pool map: one record per payload.
+
+    The machinery behind :func:`run_trials_parallel`, reusable for any
+    picklable ``fn(payload) -> dict`` fan-out (the dirty-anchor search in
+    :mod:`repro.perf.anchors` rides it too). Guarantees, in payload order:
+
+    * ``fn``'s own return value when the worker finishes;
+    * ``failure_record(payload, kind, detail, seconds)`` otherwise, with
+      ``kind`` one of ``"stalled"`` (no completion within
+      ``task_timeout + stall_grace``), ``"crashed"`` (worker death broke
+      the pool twice — the pool is respawned once and lost tasks retried
+      first), or ``"error"`` (harness-side surprise, e.g. an unpicklable
+      result).
+
+    ``on_record`` fires the moment each record is finalized (incremental
+    persistence hook). Each payload is shipped with an added ``"attempt"``
+    field (1 on the first round, 2 after a respawn) so deterministic fault
+    injection can target specific attempts.
+    """
+    results: list[dict | None] = [None] * len(payloads)
+
+    def finalize(index: int, record: dict) -> None:
+        results[index] = record
+        if on_record is not None:
+            on_record(index, record)
+
+    lost = _run_pool_round(fn, payloads, list(range(len(payloads))), 1,
+                           max_workers, task_timeout, stall_grace,
+                           finalize, failure_record)
+    if lost:
+        # The pool broke (a worker died). Respawn once and retry only the
+        # tasks whose results were lost — everything already finalized is
+        # kept.
+        obs.inc("parallel.pool_respawns")
+        obs.emit("parallel.pool_respawn", lost_trials=len(lost))
+        lost = _run_pool_round(fn, payloads, lost, 2,
+                               max_workers, task_timeout, stall_grace,
+                               finalize, failure_record)
+        for i in lost:
+            obs.inc("parallel.trials_crashed")
+            finalize(i, failure_record(
+                payloads[i], "crashed",
+                "worker process died (pool broke twice)", 0.0,
+            ))
+
+    assert all(r is not None for r in results)  # one record per payload
+    return results  # type: ignore[return-value]
+
+
 def _run_pool_round(
+    fn: Callable[[dict], dict],
     payloads: list[dict],
     pending: list[int],
     attempt: int,
     max_workers: int | None,
-    trial_timeout: float | None,
+    task_timeout: float | None,
     stall_grace: float,
     finalize: Callable[[int, dict], None],
+    failure_record: Callable[[dict, str, str, float], dict],
 ) -> list[int]:
     """Run one pool over ``pending`` payload indices.
 
@@ -287,11 +348,11 @@ def _run_pool_round(
     results were lost to a broken pool (candidates for the retry round).
     """
     lost: list[int] = []
-    guard = None if trial_timeout is None else trial_timeout + stall_grace
+    guard = None if task_timeout is None else task_timeout + stall_grace
     pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         futures = {
-            pool.submit(_run_one, {**payloads[i], "attempt": attempt}): i
+            pool.submit(fn, {**payloads[i], "attempt": attempt}): i
             for i in pending
         }
         not_done = set(futures)
@@ -304,17 +365,12 @@ def _run_pool_round(
                 for fut in not_done:
                     i = futures[fut]
                     fut.cancel()
-                    rec = _base_record(payloads[i])
-                    rec.update(
-                        status="timeout",
-                        cost=None,
-                        delay=None,
-                        seconds=float(guard),
-                        extra={"error": f"no completion within {guard:.3f}s guard"},
-                        counters={},
-                    )
                     obs.inc("parallel.trials_stalled")
-                    finalize(i, rec)
+                    finalize(i, failure_record(
+                        payloads[i], "stalled",
+                        f"no completion within {guard:.3f}s guard",
+                        float(guard),
+                    ))
                 not_done = set()
                 break
             for fut in done:
@@ -328,16 +384,10 @@ def _run_pool_round(
                 elif exc is not None:
                     # Harness-side surprise (e.g. unpicklable result); the
                     # worker itself catches everything, so this is rare.
-                    rec = _base_record(payloads[i])
-                    rec.update(
-                        status="error",
-                        cost=None,
-                        delay=None,
-                        seconds=0.0,
-                        extra={"error": f"{type(exc).__name__}: {exc}"},
-                        counters={},
-                    )
-                    finalize(i, rec)
+                    finalize(i, failure_record(
+                        payloads[i], "error",
+                        f"{type(exc).__name__}: {exc}", 0.0,
+                    ))
                 else:
                     finalize(i, fut.result())
     finally:

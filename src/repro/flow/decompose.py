@@ -53,9 +53,13 @@ def decompose_flow(
 
     # Outgoing adjacency restricted to the flow edges, as sorted stacks
     # (pop from the end => take the smallest remaining id by reversing).
+    # Endpoints are gathered once so the peel loops touch only Python ints.
+    eid_arr = np.asarray(eids, dtype=np.int64)
+    tails = g.tail[eid_arr].tolist()
+    head_of = dict(zip(eids, g.head[eid_arr].tolist()))
     out: dict[int, list[int]] = {}
-    for e in eids:
-        out.setdefault(int(g.tail[e]), []).append(e)
+    for e, u in zip(eids, tails):
+        out.setdefault(u, []).append(e)
     for stack in out.values():
         stack.sort(reverse=True)
 
@@ -74,7 +78,7 @@ def decompose_flow(
             e = stack.pop()
             walk.append(e)
             remaining -= 1
-            cur = int(g.head[e])
+            cur = head_of[e]
             if stop_at is not None and cur == stop_at:
                 return walk
             if stop_at is None and cur == start:
@@ -86,10 +90,15 @@ def decompose_flow(
 
     cycles: list[list[int]] = []
     # Remaining edges are balanced; peel cycles anchored at the smallest
-    # remaining tail vertex.
+    # remaining tail vertex. Stacks only pop, so that vertex is
+    # non-decreasing — an advancing pointer replaces the per-cycle min-scan
+    # (which was quadratic in the number of cycles).
+    anchors = sorted(out)
+    ai = 0
     while remaining:
-        anchor = min(u for u, stack in out.items() if stack)
-        cycles.append(walk_from(anchor, None))
+        while not out[anchors[ai]]:
+            ai += 1
+        cycles.append(walk_from(anchors[ai], None))
     return paths, cycles
 
 

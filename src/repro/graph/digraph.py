@@ -122,6 +122,79 @@ class DiGraph:
             self.delay[eids],
         )
 
+    # -- in-place mutation (perf engine seam) ---------------------------------
+
+    def flip_edges(self, edge_ids: np.ndarray) -> None:
+        """Reverse the given edges in place: swap endpoints, negate weights.
+
+        The one sanctioned mutation of a ``DiGraph``. It exists solely as
+        the delta-application seam for
+        :meth:`repro.core.residual.ResidualGraph.apply_flip` — cancelling a
+        cycle flips ``O(cycle length)`` residual edges, and rebuilding the
+        whole residual (plus its CSR indices) for that is the dominant
+        redundant cost of the cancellation loop. Callers must exclusively
+        own the weight arrays (``build_residual`` always allocates fresh
+        ones); graphs whose arrays are shared copy-on-write must never be
+        flipped.
+
+        CSR caches, when built, are *patched* rather than rebuilt: flipped
+        edge ids are spliced out of each index and re-inserted at their new
+        buckets in ascending-id order — exactly the (key, eid) order the
+        stable argsort in :meth:`_build_csr` produces — so a patched index
+        is bit-identical to a from-scratch rebuild.
+        """
+        eids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if len(eids) == 0:
+            return
+        if eids[0] < 0 or eids[-1] >= self.m:
+            raise GraphError("flip_edges: edge id out of range")
+        old_tail = self.tail[eids].copy()
+        self.tail[eids] = self.head[eids]
+        self.head[eids] = old_tail
+        self.cost[eids] = -self.cost[eids]
+        self.delay[eids] = -self.delay[eids]
+        if self._csr_out is not None:
+            self._csr_out = self._patch_csr(self._csr_out, self.tail, eids)
+        if self._csr_in is not None:
+            self._csr_in = self._patch_csr(self._csr_in, self.head, eids)
+
+    def invalidate_csr(self) -> None:
+        """Drop cached adjacency indices after an external array mutation.
+
+        For the cache-owned auxiliary graphs in :mod:`repro.perf`, whose
+        delta patches rewrite weight/endpoint values in place; a dropped
+        index rebuilds lazily (and identically) on next use.
+        """
+        self._csr_out = None
+        self._csr_in = None
+
+    def _patch_csr(
+        self,
+        csr: tuple[np.ndarray, np.ndarray],
+        keys: np.ndarray,
+        eids: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Splice ``eids`` out of a CSR index and re-insert at ``keys[eids]``.
+
+        ``keys`` is the *post-flip* key array. Surviving entries keep their
+        relative order (they were (key, eid)-sorted and removal preserves
+        that); the flipped ids are merged back via a composite
+        ``key * (m+1) + eid`` searchsorted, which reproduces the stable
+        argsort's ordering exactly.
+        """
+        _, order = csr
+        flipped = np.zeros(self.m, dtype=bool)
+        flipped[eids] = True
+        keep = order[~flipped[order]]
+        ins = eids[np.argsort(keys[eids], kind="stable")]
+        comp_keep = keys[keep] * np.int64(self.m + 1) + keep
+        comp_ins = keys[ins] * np.int64(self.m + 1) + ins
+        new_order = np.insert(keep, np.searchsorted(comp_keep, comp_ins), ins)
+        counts = np.bincount(keys, minlength=self.n)
+        new_starts = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_starts[1:])
+        return new_starts, new_order.astype(np.int64, copy=False)
+
     # -- contracts -----------------------------------------------------------
 
     def require_nonnegative(self) -> "DiGraph":

@@ -66,51 +66,37 @@ def split_vertices(g: DiGraph, s: int, t: int, gates: int = 1) -> SplitGraph:
     def v_in(v: int) -> int:
         return 2 * v
 
-    def v_out(v: int) -> int:
-        return 2 * v + 1
-
     n_split = 2 * g.n
-    tails, heads, costs, delays, orig = [], [], [], [], []
-    # Gate edges for non-terminals.
-    for v in range(g.n):
-        if v in (s, t):
-            continue
-        for _ in range(gates):
-            tails.append(v_in(v))
-            heads.append(v_out(v))
-            costs.append(0)
-            delays.append(0)
-            orig.append(-1)
-    # Original edges: out(u) -> in(v); terminals use their merged side
-    # (s leaves from out(s)... s has no gate, so route from in==out: use
-    # v_out for tails and v_in for heads consistently, with terminals
-    # mapped to a single canonical node each).
-    def tail_node(u: int) -> int:
-        return v_out(u) if u not in (s, t) else v_in(u)
-
-    def head_node(v: int) -> int:
-        return v_in(v)
-
-    for e in range(g.m):
-        u, v = int(g.tail[e]), int(g.head[e])
-        tails.append(tail_node(u))
-        heads.append(head_node(v))
-        costs.append(int(g.cost[e]))
-        delays.append(int(g.delay[e]))
-        orig.append(e)
+    # Gate edges for non-terminals (v ascending, ``gates`` copies each).
+    non_term = np.setdiff1d(
+        np.arange(g.n, dtype=np.int64),
+        np.array([s, t], dtype=np.int64),
+        assume_unique=False,
+    )
+    gate_tails = np.repeat(2 * non_term, gates)
+    gate_heads = np.repeat(2 * non_term + 1, gates)
+    n_gates = len(gate_tails)
+    gate_zeros = np.zeros(n_gates, dtype=np.int64)
+    # Original edges: out(u) -> in(v); terminals have no gate, so their
+    # merged node is v_in == 2v on both sides.
+    term_tail = (g.tail == s) | (g.tail == t)
+    e_tails = np.where(term_tail, 2 * g.tail, 2 * g.tail + 1)
+    e_heads = 2 * g.head
 
     split = DiGraph(
         n_split,
-        np.array(tails, dtype=np.int64),
-        np.array(heads, dtype=np.int64),
-        np.array(costs, dtype=np.int64),
-        np.array(delays, dtype=np.int64),
+        np.concatenate([gate_tails, e_tails]),
+        np.concatenate([gate_heads, e_heads]),
+        np.concatenate([gate_zeros, g.cost]),
+        np.concatenate([gate_zeros, g.delay]),
     )
     return SplitGraph(
         graph=split,
         s=v_in(s),
         t=v_in(t),
-        orig_eid=np.array(orig, dtype=np.int64),
+        orig_eid=np.concatenate(
+            [np.full(n_gates, -1, dtype=np.int64), np.arange(g.m, dtype=np.int64)]
+        ),
     )
 
 
@@ -158,35 +144,40 @@ def subdivide_edges(g: DiGraph, edge_ids, rng=None) -> DiGraph:
     eids = sorted({int(e) for e in edge_ids})
     if eids and not (0 <= eids[0] and eids[-1] < g.m):
         raise GraphError("edge id out of range")
+    if not eids:
+        # Nothing to subdivide: share the parent's arrays (copy-on-write —
+        # every mutating helper builds fresh arrays, so the parent is safe).
+        return DiGraph(g.n, g.tail, g.head, g.cost, g.delay)
     gen = as_rng(rng) if rng is not None else None
-    tails = list(g.tail)
-    heads = list(g.head)
-    costs = list(g.cost)
-    delays = list(g.delay)
-    n = g.n
-    for e in eids:
-        x = n
-        n += 1
-        c, d = int(g.cost[e]), int(g.delay[e])
-        if gen is None:
-            c1, d1 = c // 2, d // 2
-        else:
-            c1 = int(gen.integers(0, c + 1))
-            d1 = int(gen.integers(0, d + 1))
-        # First half replaces the original edge id; second half appends.
-        heads[e] = x
-        costs[e] = c1
-        delays[e] = d1
-        tails.append(x)
-        heads.append(int(g.head[e]))
-        costs.append(c - c1)
-        delays.append(d - d1)
+    eid_arr = np.asarray(eids, dtype=np.int64)
+    c = g.cost[eid_arr]
+    d = g.delay[eid_arr]
+    if gen is None:
+        c1 = c // 2
+        d1 = d // 2
+    else:
+        # Per-edge draws in (cost, delay) order — the rng stream must match
+        # the historical scalar loop so seeded fuzz cases stay reproducible.
+        c1 = np.empty(len(eids), dtype=np.int64)
+        d1 = np.empty(len(eids), dtype=np.int64)
+        for i in range(len(eids)):
+            c1[i] = gen.integers(0, c[i] + 1)
+            d1[i] = gen.integers(0, d[i] + 1)
+    # First halves replace the original edge ids; second halves append,
+    # each through its fresh midpoint vertex.
+    xs = g.n + np.arange(len(eids), dtype=np.int64)
+    heads = g.head.copy()
+    costs = g.cost.copy()
+    delays = g.delay.copy()
+    heads[eid_arr] = xs
+    costs[eid_arr] = c1
+    delays[eid_arr] = d1
     return DiGraph(
-        n,
-        np.array(tails, dtype=np.int64),
-        np.array(heads, dtype=np.int64),
-        np.array(costs, dtype=np.int64),
-        np.array(delays, dtype=np.int64),
+        g.n + len(eids),
+        np.concatenate([g.tail, xs]),
+        np.concatenate([heads, g.head[eid_arr]]),
+        np.concatenate([costs, c - c1]),
+        np.concatenate([delays, d - d1]),
     )
 
 
@@ -211,10 +202,11 @@ def inject_parallel_edges(
     if len(eids) and (eids[0] < 0 or eids[-1] >= g.m):
         raise GraphError("edge id out of range")
     if len(eids) == 0:
-        return g.copy()
+        # No copies to inject: share the parent's arrays (copy-on-write).
+        return DiGraph(g.n, g.tail, g.head, g.cost, g.delay)
     gen = as_rng(rng)
-    cost = g.cost[eids].copy()
-    delay = g.delay[eids].copy()
+    cost = g.cost[eids]
+    delay = g.delay[eids]
     if cost_jitter:
         cost = np.clip(cost + gen.integers(-cost_jitter, cost_jitter + 1, size=len(eids)), 0, None)
     if delay_jitter:
@@ -248,17 +240,20 @@ def graft_at_terminals(
     if not (0 <= hs < h.n and 0 <= ht < h.n) or hs == ht:
         raise GraphError("gadget terminals must be distinct in-range vertices")
 
-    def remap(v: int) -> int:
-        if v == hs:
-            return s
-        if v == ht:
-            return t
-        # Pack h's non-terminal vertices after g's.
-        shift = g.n - (1 if hs < v else 0) - (1 if ht < v else 0)
-        return v + shift
+    def remap(vs: np.ndarray) -> np.ndarray:
+        # Pack h's non-terminal vertices after g's; terminals identify.
+        shift = (
+            g.n
+            - (hs < vs).astype(np.int64)
+            - (ht < vs).astype(np.int64)
+        )
+        out = vs + shift
+        out[vs == hs] = s
+        out[vs == ht] = t
+        return out
 
-    h_tail = np.array([remap(int(v)) for v in h.tail], dtype=np.int64)
-    h_head = np.array([remap(int(v)) for v in h.head], dtype=np.int64)
+    h_tail = remap(h.tail)
+    h_head = remap(h.head)
     return DiGraph(
         g.n + h.n - 2,
         np.concatenate([g.tail, h_tail]),

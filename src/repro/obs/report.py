@@ -96,7 +96,13 @@ def validate_trace(trace: Trace) -> list[str]:
     3. counters are nonnegative integers;
     4. summary counts match the body;
     5. the ``cancellation.iterations`` counter equals the number of
-       ``cancel.iteration`` events (when either is present).
+       ``cancel.iteration`` events (when either is present);
+    6. the incremental-search counters are internally consistent:
+       ``search.aux_cache.evict <= search.aux_cache.miss`` (only built
+       entries can be evicted), ``search.aux_cache.delta_refresh <=
+       search.aux_cache.hit`` (a delta refresh is a stale hit), and
+       ``search.anchors.probes == search.anchors.dirty +
+       search.anchors.skipped`` (every anchor is classified exactly once).
     """
     problems: list[str] = []
     if not trace.header:
@@ -154,6 +160,27 @@ def validate_trace(trace: Trace) -> list[str]:
             problems.append(
                 f"cancellation.iterations counter ({cancel_counter}) != "
                 f"cancel.iteration event count ({cancel_events})"
+            )
+
+    c = trace.counters
+    if c.get("search.aux_cache.evict", 0) > c.get("search.aux_cache.miss", 0):
+        problems.append(
+            f"search.aux_cache.evict ({c.get('search.aux_cache.evict')}) > "
+            f"search.aux_cache.miss ({c.get('search.aux_cache.miss', 0)}) — "
+            "evicted entries that were never built"
+        )
+    if c.get("search.aux_cache.delta_refresh", 0) > c.get("search.aux_cache.hit", 0):
+        problems.append(
+            f"search.aux_cache.delta_refresh ({c.get('search.aux_cache.delta_refresh')}) "
+            f"> search.aux_cache.hit ({c.get('search.aux_cache.hit', 0)}) — "
+            "a delta refresh must be a (stale) cache hit"
+        )
+    if "search.anchors.probes" in c or "search.anchors.dirty" in c:
+        probes = c.get("search.anchors.probes", 0)
+        classified = c.get("search.anchors.dirty", 0) + c.get("search.anchors.skipped", 0)
+        if probes != classified:
+            problems.append(
+                f"search.anchors.probes ({probes}) != dirty + skipped ({classified})"
             )
     return problems
 
@@ -356,6 +383,14 @@ def report_json(trace: Trace, top: int = 10) -> dict[str, Any]:
         ],
         "counters": dict(sorted(trace.counters.items())),
         "gauges": dict(sorted(trace.gauges.items())),
+        # The incremental-search engine's health at a glance (PR 4); the
+        # same keys also appear in "counters"/"gauges" above.
+        "search_cache": {
+            k: v
+            for k, v in sorted({**trace.counters, **trace.gauges}.items())
+            if k.startswith(("search.aux_cache.", "search.anchors.", "residual."))
+            or k == "search.rebuild_bytes"
+        },
         "events": len(trace.events),
         "cancel_iterations": [
             ev for ev in trace.events if ev.get("kind") == "cancel.iteration"

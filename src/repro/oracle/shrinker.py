@@ -92,8 +92,9 @@ def _prune_isolated(inst: OracleInstance) -> OracleInstance | None:
             int(used.sum()),
             relabel[g.tail],
             relabel[g.head],
-            g.cost.copy(),
-            g.delay.copy(),
+            # Only endpoints change: weights are shared (copy-on-write).
+            g.cost,
+            g.delay,
         ),
         s=int(relabel[inst.s]),
         t=int(relabel[inst.t]),

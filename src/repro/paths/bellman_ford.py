@@ -35,16 +35,21 @@ def _trace_cycle(g: DiGraph, pred: np.ndarray, start: int) -> list[int]:
     one) keeps this robust under synchronous numpy relaxation where several
     predecessors update in one round.
     """
-    seen: dict[int, int] = {}
+    # Preallocated visit stamps + plain-int predecessor/tail lookups: the
+    # walk is bounded by n + 1 steps, and staying off numpy scalars keeps
+    # each step O(1) Python-int work even on long cycles.
+    seen = [-1] * g.n
+    pred_l = pred.tolist()
+    tail_l = g.tail.tolist()
     walk_edges: list[int] = []  # edges in reverse walk order
     v = start
-    while v not in seen:
+    while seen[v] == -1:
         seen[v] = len(walk_edges)
-        e = int(pred[v])
+        e = pred_l[v]
         if e == -1:
             raise GraphError("predecessor chain broke while tracing cycle")
         walk_edges.append(e)
-        v = int(g.tail[e])
+        v = tail_l[e]
         if len(walk_edges) > g.n + 1:
             raise GraphError("failed to close cycle — corrupt predecessors")
     # Cycle consists of the edges walked between the two visits of v.

@@ -1,0 +1,333 @@
+"""Dirty-anchor tracking and parallel fan-out for the Algorithm 3 finder.
+
+The paper-literal finder solves LP (6) on ``H_v^±(B)`` for every anchor
+``v`` × budget level × sign — by far the most LP solves of any code path.
+Yet one cancellation step flips only a handful of residual edges, so most
+anchors see an *unchanged neighbourhood*:
+
+* :class:`AnchorTracker` stamps every residual edge with the version at
+  which it last flipped. An anchor whose incident edges are all older
+  than its last probe is **clean**: its cached candidates are replayed
+  (each one re-validated edge-by-edge against the flip stamps, so a
+  replayed candidate is always a still-valid residual cycle with its
+  recorded cost and delay). Only **dirty** anchors are re-probed.
+* The dirty set fans out over the fault-tolerant process pool of
+  :mod:`repro.eval.parallel` (submit/wait, stall guard, respawn-once);
+  an anchor task lost to a crash is transparently recomputed serially,
+  so the candidate set never silently shrinks. Merge order is the
+  canonical serial ``(B, anchor, sign)`` order, so the fan-out itself is
+  deterministic.
+
+Soundness vs. fidelity: replayed verdicts were computed against an older
+residual and an older ``DeltaD``, so the *set* of candidates may differ
+from a full re-probe (an LP on the current graph might find different
+cycles) — every replayed candidate is still a genuine residual cycle,
+candidate *selection* downstream re-checks all rate tests, and the final
+solution still verifies. This is therefore a documented heuristic, kept
+**opt-in** (``incremental=True`` with ``finder="paper_literal"``); the
+bit-identity guarantee of :mod:`repro.perf` applies to the production
+finder. Counters: ``search.anchors.{probes,dirty,skipped}`` plus
+``search.anchors.replayed`` / ``search.anchors.replay_dropped``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.core.auxgraph import build_aux_paper
+from repro.core.auxlp import candidates_from_circulation, solve_lp6
+from repro.core.bicameral import CandidateCycle
+from repro.core.residual import ResidualGraph
+from repro.graph.digraph import DiGraph
+from repro.robustness.budget import BudgetMeter
+
+#: (b, sign) -> candidates found by one anchor probe.
+AnchorResults = dict[tuple[int, int], list[CandidateCycle]]
+
+
+@dataclass
+class _Verdict:
+    version: int
+    results: AnchorResults
+
+
+class AnchorTracker:
+    """Per-edge flip stamps + per-anchor cached probe verdicts."""
+
+    def __init__(self, m: int) -> None:
+        # Version at which each residual edge last flipped; 0 = never
+        # (build_residual starts at version 0, flips bump to >= 1).
+        self._last_flip = np.zeros(m, dtype=np.int64)
+        self._verdicts: dict[int, _Verdict] = {}
+
+    def note_flips(self, flipped_eids, version: int) -> None:
+        """Stamp ``flipped_eids`` as changed at residual ``version``."""
+        self._last_flip[np.asarray(flipped_eids, dtype=np.int64)] = version
+
+    def is_dirty(self, residual: ResidualGraph, anchor: int) -> bool:
+        """True when ``anchor`` must be re-probed.
+
+        Never probed, or some edge incident to it (incidence is
+        flip-invariant: reversal swaps endpoints but keeps the vertex
+        pair) flipped after its cached verdict.
+        """
+        verdict = self._verdicts.get(anchor)
+        if verdict is None:
+            return True
+        g = residual.graph
+        incident = np.concatenate([g.out_edges(anchor), g.in_edges(anchor)])
+        return bool((self._last_flip[incident] > verdict.version).any())
+
+    def store(self, anchor: int, version: int, results: AnchorResults) -> None:
+        self._verdicts[anchor] = _Verdict(version=version, results=results)
+
+    def replay(self, anchor: int, b: int, sign: int) -> list[CandidateCycle]:
+        """Cached candidates for ``(anchor, b, sign)`` that are still valid.
+
+        A candidate survives iff none of its edges flipped after the
+        verdict was recorded — then it is verbatim the same residual
+        cycle, with the same cost and delay.
+        """
+        verdict = self._verdicts.get(anchor)
+        if verdict is None:
+            return []
+        out: list[CandidateCycle] = []
+        dropped = 0
+        for cand in verdict.results.get((b, sign), []):
+            edges = np.asarray(cand.edges, dtype=np.int64)
+            if (self._last_flip[edges] <= verdict.version).all():
+                out.append(cand)
+            else:
+                dropped += 1
+        if out:
+            obs.add("search.anchors.replayed", len(out))
+        if dropped:
+            obs.add("search.anchors.replay_dropped", dropped)
+        return out
+
+
+def _probe_anchor(
+    g: DiGraph,
+    anchor: int,
+    b_values: list[int],
+    delta_d: int,
+    meter: BudgetMeter | None = None,
+) -> tuple[AnchorResults, int, int, int]:
+    """One anchor's full probe: every ``(b, sign)`` pair of Algorithm 3.
+
+    Returns ``(results, aux_nodes, aux_edges, lp_solves)`` — pure compute,
+    shared verbatim by the in-process path and the pool worker so both
+    produce the same candidates for the same inputs.
+    """
+    results: AnchorResults = {}
+    aux_nodes = aux_edges = lp_solves = 0
+    for b in b_values:
+        for sign in (+1, -1):
+            aux = build_aux_paper(g, anchor, b, sign)
+            aux_nodes += aux.graph.n
+            aux_edges += aux.graph.m
+            if meter is not None:
+                meter.charge_search_nodes(aux.graph.n, "search.paper_tracked")
+            x = solve_lp6(aux, delta_d)
+            lp_solves += 1
+            if x is None:
+                results[(b, sign)] = []
+                continue
+            results[(b, sign)] = candidates_from_circulation(aux, g, x)
+    return results, aux_nodes, aux_edges, lp_solves
+
+
+def _anchor_worker(payload: dict) -> dict:
+    """Pool worker: probe one anchor on a deserialized residual graph.
+
+    Catches everything (a failed probe is recomputed serially by the
+    caller — it must never poison the pool)."""
+    from repro.graph.io import graph_from_dict
+
+    try:
+        g = graph_from_dict(payload["graph"])
+        results, aux_nodes, aux_edges, lp_solves = _probe_anchor(
+            g, payload["anchor"], payload["b_values"], payload["delta_d"]
+        )
+        return {
+            "status": "ok",
+            "anchor": payload["anchor"],
+            "results": [
+                (b, sign, [(list(c.edges), c.cost, c.delay) for c in cands])
+                for (b, sign), cands in results.items()
+            ],
+            "aux_nodes": aux_nodes,
+            "aux_edges": aux_edges,
+            "lp_solves": lp_solves,
+        }
+    except Exception as exc:  # noqa: BLE001 — report as data, never raise
+        return {
+            "status": "error",
+            "anchor": payload.get("anchor"),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _anchor_failure_record(payload: dict, kind: str, detail: str, seconds: float) -> dict:
+    return {"status": kind, "anchor": payload.get("anchor"), "error": detail}
+
+
+def _fan_out(
+    g: DiGraph,
+    dirty: list[int],
+    b_values: list[int],
+    delta_d: int,
+    max_workers: int,
+) -> tuple[dict[int, AnchorResults], tuple[int, int, int]]:
+    """Probe dirty anchors on the fault-tolerant worker pool.
+
+    Returns ``(results by anchor, (aux_nodes, aux_edges, lp_solves))`` for
+    the anchors that came back ``ok`` — the caller recomputes the rest
+    in-process, so crashes and stalls degrade throughput, never
+    correctness. Worker-side telemetry counters do not propagate (separate
+    processes); the aggregate aux/LP work is folded into the caller's
+    :class:`~repro.core.search.SearchStats` instead.
+    """
+    from repro.eval.parallel import resilient_pool_map
+    from repro.graph.io import graph_to_dict
+
+    g_dict = graph_to_dict(g)
+    payloads = [
+        {"graph": g_dict, "anchor": v, "b_values": list(b_values), "delta_d": delta_d}
+        for v in dirty
+    ]
+    records = resilient_pool_map(
+        _anchor_worker,
+        payloads,
+        max_workers=max_workers,
+        failure_record=_anchor_failure_record,
+    )
+    out: dict[int, AnchorResults] = {}
+    aux_nodes = aux_edges = lp_solves = 0
+    for rec in records:
+        if rec.get("status") != "ok":
+            obs.inc("search.anchors.fanout_failures")
+            continue
+        results: AnchorResults = {}
+        for b, sign, cands in rec["results"]:
+            results[(int(b), int(sign))] = [
+                CandidateCycle(edges=tuple(edges), cost=int(c), delay=int(d))
+                for edges, c, d in cands
+            ]
+        out[int(rec["anchor"])] = results
+        aux_nodes += rec["aux_nodes"]
+        aux_edges += rec["aux_edges"]
+        lp_solves += rec["lp_solves"]
+    return out, (aux_nodes, aux_edges, lp_solves)
+
+
+def find_bicameral_candidates_paper_tracked(
+    residual: ResidualGraph,
+    delta_d: int,
+    tracker: AnchorTracker,
+    b_values: list[int] | None = None,
+    anchors: list[int] | None = None,
+    stats=None,
+    meter: BudgetMeter | None = None,
+    max_workers: int | None = None,
+) -> list[CandidateCycle]:
+    """Algorithm 3 with dirty-anchor reuse (and optional fan-out).
+
+    Drop-in for :func:`repro.core.search.find_bicameral_candidates_paper`
+    plus a ``tracker`` carried across cancellation iterations. Clean
+    anchors replay cached (still-valid) candidates; dirty anchors are
+    re-probed — in parallel when ``max_workers > 1`` and no budget meter
+    is armed (a meter needs in-process cooperative checks). Candidates
+    merge in the canonical serial ``(b, anchor, sign)`` order.
+    """
+    from repro.core.search import SearchStats
+
+    stats = stats if stats is not None else SearchStats()
+    stats.short_circuited_type0 = False
+    before = stats._snapshot()
+    with obs.span("search.paper_tracked"):
+        try:
+            return _tracked_impl(
+                residual, delta_d, tracker, b_values, anchors, stats,
+                meter, max_workers,
+            )
+        finally:
+            stats._flush_delta(before)
+
+
+def _tracked_impl(
+    residual: ResidualGraph,
+    delta_d: int,
+    tracker: AnchorTracker,
+    b_values: list[int] | None,
+    anchors: list[int] | None,
+    stats,
+    meter: BudgetMeter | None,
+    max_workers: int | None,
+) -> list[CandidateCycle]:
+    from repro.core.search import reversed_edge_anchors
+
+    g = residual.graph
+    if anchors is None:
+        anchors = reversed_edge_anchors(residual)
+    if b_values is None:
+        total = max(1, int(np.abs(g.cost).sum()))
+        b_values = []
+        b = 1
+        while True:
+            b_values.append(b)
+            if b >= total:
+                break
+            b = min(b * 2, total)
+
+    dirty = [v for v in anchors if tracker.is_dirty(residual, v)]
+    dirty_set = set(dirty)
+    obs.add("search.anchors.probes", len(anchors))
+    obs.add("search.anchors.dirty", len(dirty))
+    obs.add("search.anchors.skipped", len(anchors) - len(dirty))
+
+    fresh: dict[int, AnchorResults] = {}
+    if (
+        max_workers is not None
+        and max_workers > 1
+        and len(dirty) > 1
+        and meter is None
+    ):
+        fresh, (aux_nodes, aux_edges, lp_solves) = _fan_out(
+            g, dirty, b_values, delta_d, max_workers
+        )
+        stats.aux_nodes_built += aux_nodes
+        stats.aux_edges_built += aux_edges
+        stats.lp_solves += lp_solves
+    for v in dirty:
+        if v not in fresh:
+            results, aux_nodes, aux_edges, lp_solves = _probe_anchor(
+                g, v, b_values, delta_d, meter
+            )
+            stats.aux_nodes_built += aux_nodes
+            stats.aux_edges_built += aux_edges
+            stats.lp_solves += lp_solves
+            fresh[v] = results
+    for v in dirty:
+        tracker.store(v, residual.version, fresh[v])
+
+    candidates: list[CandidateCycle] = []
+    seen: set[tuple[int, ...]] = set()
+    for b in b_values:
+        for v in anchors:
+            for sign in (+1, -1):
+                if v in dirty_set:
+                    found = fresh[v].get((b, sign), [])
+                else:
+                    found = tracker.replay(v, b, sign)
+                for cand in found:
+                    key = tuple(sorted(cand.edges))
+                    if key not in seen:
+                        seen.add(key)
+                        candidates.append(cand)
+        stats.b_values.append(b)
+    stats.candidates = len(candidates)
+    return candidates

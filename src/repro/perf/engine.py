@@ -1,0 +1,103 @@
+"""The incremental search engine threaded through the cancellation loop.
+
+One :class:`IncrementalSearch` instance lives for the duration of one
+``cancel_to_feasibility`` call. Instead of rebuilding the residual graph
+from the solution edge set every iteration, the engine keeps a single
+:class:`~repro.core.residual.ResidualGraph` and advances it by flipping
+exactly the edges whose solution membership changed (the symmetric
+difference of consecutive solutions — which also covers edges removed by
+``strip_improving_cycles`` beyond the applied cycle itself). Its
+:meth:`IncrementalSearch.aux_provider` hook slots into
+:func:`repro.core.search.find_bicameral_cycle` in place of
+:func:`repro.core.auxgraph.build_aux_shifted`, serving layered graphs from
+the :class:`~repro.perf.auxcache.AuxCache`.
+
+Because the served residual and auxiliary arrays are bit-identical to
+their from-scratch counterparts, every downstream decision — Bellman–Ford
+probes, HiGHS LP solves, candidate extraction, selection — is unchanged;
+the differential suite (``tests/test_search_incremental.py``) asserts the
+full cancelled-cycle sequence and telemetry trail match.
+"""
+
+from __future__ import annotations
+
+from repro.core.auxgraph import AuxGraph
+from repro.core.residual import ResidualGraph, build_residual
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.perf.anchors import AnchorTracker
+from repro.perf.auxcache import DEFAULT_MAX_BYTES, AuxCache
+
+
+class IncrementalSearch:
+    """Long-lived residual + aux-graph state for one cancellation run.
+
+    Usage (what :func:`repro.core.cancellation.cancel_to_feasibility`
+    does when ``incremental`` is on)::
+
+        engine = IncrementalSearch(g)
+        while infeasible:
+            residual = engine.residual_for(sol.edge_ids)
+            pick = find_bicameral_cycle(
+                residual, ..., aux_provider=engine.aux_provider)
+            ...
+    """
+
+    def __init__(
+        self, graph: DiGraph, *, max_cache_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self._g = graph
+        self._max_cache_bytes = max_cache_bytes
+        self._residual: ResidualGraph | None = None
+        self._solution: frozenset[int] | None = None
+        self._cache: AuxCache | None = None
+        self._tracker: AnchorTracker | None = None
+
+    @property
+    def residual(self) -> ResidualGraph | None:
+        return self._residual
+
+    @property
+    def tracker(self) -> AnchorTracker:
+        """Dirty-anchor tracker for the paper-literal finder (lazy)."""
+        if self._tracker is None:
+            self._tracker = AnchorTracker(self._g.m)
+        return self._tracker
+
+    def residual_for(self, solution_edge_ids) -> ResidualGraph:
+        """The residual of the current solution, updated in place.
+
+        First call builds it from scratch (Definition 6); later calls flip
+        the symmetric difference against the previous solution and bump the
+        version, which is bit-identical to a rebuild (differentially
+        tested) at ``O(changed edges)`` cost.
+        """
+        new_solution = frozenset(int(e) for e in solution_edge_ids)
+        if self._residual is None:
+            self._residual = build_residual(self._g, sorted(new_solution))
+            self._cache = AuxCache(
+                self._residual, max_bytes=self._max_cache_bytes
+            )
+        else:
+            diff = self._solution ^ new_solution
+            if diff:
+                flipped = self._residual.apply_flip(sorted(diff))
+                assert self._cache is not None
+                self._cache.note_flips(flipped)
+                if self._tracker is not None:
+                    self._tracker.note_flips(flipped, self._residual.version)
+        self._solution = new_solution
+        return self._residual
+
+    def aux_provider(self, residual_graph: DiGraph, B: int) -> AuxGraph:
+        """Drop-in for ``build_aux_shifted`` backed by the keyed cache.
+
+        Guards against being handed a residual the engine does not manage
+        (the cache's delta bookkeeping would silently desynchronise).
+        """
+        if self._residual is None or residual_graph is not self._residual.graph:
+            raise GraphError(
+                "aux_provider called with a residual this engine does not own"
+            )
+        assert self._cache is not None
+        return self._cache.get(B)

@@ -1,0 +1,487 @@
+"""Differential suite for the incremental search engine (:mod:`repro.perf`).
+
+The engine's contract is *bit-identity*: with the production finder, a
+cancellation run driven by :class:`~repro.perf.IncrementalSearch` (in-place
+residual deltas, cached auxiliary graphs) must produce the same cancelled
+cycles, the same costs, and the same ``cancel.iteration`` telemetry trail as
+the from-scratch path. These tests enforce that on the committed corpus and
+on hypothesis-generated substrates, plus unit-level differentials for every
+layer the engine touches (CSR patching, residual flips, the aux cache, the
+dirty-anchor tracker) and regression tests for the satellite fixes
+(long-cycle decomposition, transform copy-on-write).
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core import KRSPInstance, build_residual, cancel_to_feasibility
+from repro.core.auxgraph import build_aux_shifted
+from repro.core.cycle_decompose import decompose_into_cycles, split_closed_walk
+from repro.core.phase1 import phase1_minsum
+from repro.errors import GraphError
+from repro.flow import decompose_flow
+from repro.graph import anticorrelated_weights, gnp_digraph
+from repro.graph.digraph import DiGraph
+from repro.oracle import load_corpus
+from repro.paths import find_negative_cycle
+from repro.perf import AnchorTracker, AuxCache, IncrementalSearch
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _run_traced(inst, start, **kw):
+    """Run cancellation under a trace session; return (result-or-exc, trail).
+
+    The trail is the ordered list of ``cancel.iteration`` events with the
+    timing fields stripped — the bit-identity contract covers everything
+    else (cycle cost/delay, totals, types).
+    """
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    outcome = None
+    error = None
+    try:
+        with obs.session(trace_path=path):
+            try:
+                outcome = cancel_to_feasibility(inst, start, **kw)
+            except Exception as exc:  # noqa: BLE001 — compared, not hidden
+                error = exc
+        events = [json.loads(line) for line in open(path)]
+    finally:
+        os.unlink(path)
+    trail = [
+        tuple(
+            sorted(
+                (k, v)
+                for k, v in ev.items()
+                if k not in ("ts", "seq", "t_rel")
+            )
+        )
+        for ev in events
+        if ev.get("kind") == "cancel.iteration"
+    ]
+    return outcome, error, trail
+
+
+def _assert_differential(g, s, t, k, delay_bound, finder, **kw):
+    """Incremental and from-scratch runs must agree on one instance."""
+    inst = KRSPInstance(g, s, t, k, delay_bound)
+    try:
+        start = phase1_minsum(inst).solution
+    except Exception:  # noqa: BLE001 — phase 1 predates the engine choice
+        pytest.skip("instance infeasible before cancellation starts")
+    base, base_err, base_trail = _run_traced(
+        inst, start, finder=finder, incremental=False, **kw
+    )
+    incr, incr_err, incr_trail = _run_traced(
+        inst, start, finder=finder, incremental=True, **kw
+    )
+    if base_err is not None or incr_err is not None:
+        assert type(base_err) is type(incr_err), (base_err, incr_err)
+        return
+    assert (base.solution.cost, base.solution.delay) == (
+        incr.solution.cost,
+        incr.solution.delay,
+    )
+    if finder == "production":
+        # Full bit-identity: same cycles, same telemetry trail.
+        assert base_trail == incr_trail
+        assert base.records == incr.records
+
+
+def _random_residual_full(rng, n=12, p=0.35):
+    """(base graph, reversed set, residual) on a random substrate."""
+    g = anticorrelated_weights(gnp_digraph(n, p, rng=rng), rng=rng)
+    m = g.m
+    if m == 0:
+        return None
+    n_rev = int(rng.integers(0, max(1, m // 3) + 1))
+    rev = sorted(int(e) for e in rng.choice(m, size=n_rev, replace=False))
+    return g, rev, build_residual(g, rev)
+
+
+def _random_residual(rng, n=12, p=0.35):
+    full = _random_residual_full(rng, n, p)
+    return None if full is None else full[2]
+
+
+# ---------------------------------------------------------------------------
+# end-to-end differential: incremental vs from-scratch cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestCancellationDifferential:
+    @pytest.mark.parametrize(
+        "entry", ENTRIES, ids=[e.name for e in ENTRIES]
+    )
+    def test_corpus_production(self, entry):
+        i = entry.instance
+        _assert_differential(
+            i.graph, i.s, i.t, i.k, i.delay_bound, finder="production"
+        )
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in ENTRIES if e.instance.graph.m <= 12],
+        ids=[e.name for e in ENTRIES if e.instance.graph.m <= 12],
+    )
+    def test_corpus_paper_literal(self, entry):
+        """The tracked paper finder is a heuristic (replayed verdicts), but
+        the final solution quality must match the from-scratch finder."""
+        i = entry.instance
+        _assert_differential(
+            i.graph, i.s, i.t, i.k, i.delay_bound, finder="paper_literal"
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_substrates_production(self, seed):
+        g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=seed), rng=seed + 1)
+        _assert_differential(g, 0, 9, 2, 40, finder="production")
+
+
+# ---------------------------------------------------------------------------
+# layer differential: CSR patching and residual flips
+# ---------------------------------------------------------------------------
+
+
+class TestFlipEdges:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_csr_patch_matches_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        m = int(rng.integers(1, 30))
+        g = DiGraph(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(-5, 9, size=m),
+            rng.integers(-5, 9, size=m),
+        )
+        # Force-build both CSR caches, then flip with patching in place.
+        g.out_edges(0)
+        g.in_edges(0)
+        flips = rng.choice(m, size=int(rng.integers(1, m + 1)), replace=False)
+        g.flip_edges(flips)
+        fresh = DiGraph(n, g.tail.copy(), g.head.copy(), g.cost.copy(), g.delay.copy())
+        for v in range(n):
+            assert np.array_equal(g.out_edges(v), fresh.out_edges(v)), v
+            assert np.array_equal(g.in_edges(v), fresh.in_edges(v)), v
+
+    def test_out_of_range_raises(self):
+        g = DiGraph(2, [0], [1], [3], [4])
+        with pytest.raises(GraphError):
+            g.flip_edges([1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_apply_flip_matches_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        full = _random_residual_full(rng)
+        if full is None:
+            return
+        base, _rev, res = full
+        m = res.graph.m
+        flips = sorted(
+            int(e)
+            for e in rng.choice(m, size=int(rng.integers(1, m + 1)), replace=False)
+        )
+        res.apply_flip(flips)
+        new_rev = sorted(int(e) for e in np.nonzero(res.reversed_mask)[0])
+        fresh = build_residual(base, new_rev)
+        for arr in ("tail", "head", "cost", "delay"):
+            assert np.array_equal(
+                getattr(res.graph, arr), getattr(fresh.graph, arr)
+            ), arr
+        assert res.version == 1
+
+
+# ---------------------------------------------------------------------------
+# aux cache: bit-identity, delta refresh, growth, eviction
+# ---------------------------------------------------------------------------
+
+
+def _assert_aux_equal(a, b):
+    assert a.n_layers == b.n_layers and a.offset == b.offset
+    assert a.graph.n == b.graph.n and a.graph.m == b.graph.m
+    for arr in ("tail", "head", "cost", "delay"):
+        assert np.array_equal(getattr(a.graph, arr), getattr(b.graph, arr)), arr
+    assert np.array_equal(a.orig_eid, b.orig_eid)
+    assert np.array_equal(a.wrap_cost, b.wrap_cost)
+
+
+class TestAuxCache:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_served_graphs_match_fresh_builds(self, seed):
+        rng = np.random.default_rng(seed)
+        res = _random_residual(rng)
+        if res is None:
+            return
+        cache = AuxCache(res)
+        m = res.graph.m
+        for _ in range(4):
+            for B in (1, 2, 4):
+                _assert_aux_equal(cache.get(B), build_aux_shifted(res.graph, B))
+            flips = res.apply_flip(
+                sorted(
+                    int(e)
+                    for e in rng.choice(
+                        m, size=int(rng.integers(1, m + 1)), replace=False
+                    )
+                )
+            )
+            cache.note_flips(flips)
+
+    def test_growth_from_smaller_level(self):
+        rng = np.random.default_rng(7)
+        res = _random_residual(rng)
+        cache = AuxCache(res)
+        with obs.session():
+            cache.get(2)
+            cache.get(8)  # grown from the B=2 skeleton
+            snap = obs.snapshot()
+        assert snap.get("search.aux_cache.grow", 0) >= 1
+        _assert_aux_equal(cache.get(8), build_aux_shifted(res.graph, 8))
+
+    def test_eviction_under_byte_cap(self):
+        rng = np.random.default_rng(11)
+        res = _random_residual(rng, n=14, p=0.5)
+        with obs.session():
+            cache = AuxCache(res, max_bytes=1)  # everything over cap
+            cache.get(1)
+            cache.get(2)
+            cache.get(4)
+            snap = obs.snapshot()
+        assert snap.get("search.aux_cache.evict", 0) >= 1
+        assert snap["search.aux_cache.evict"] <= snap["search.aux_cache.miss"]
+        # Still serves correct graphs after evictions.
+        _assert_aux_equal(cache.get(4), build_aux_shifted(res.graph, 4))
+
+    def test_hit_and_delta_refresh_counters(self):
+        rng = np.random.default_rng(3)
+        res = _random_residual(rng)
+        with obs.session():
+            cache = AuxCache(res)
+            cache.get(2)
+            cache.get(2)  # exact hit
+            flips = res.apply_flip([0])
+            cache.note_flips(flips)
+            cache.get(2)  # stale hit -> delta refresh
+            snap = obs.snapshot()
+        assert snap["search.aux_cache.hit"] == 2
+        assert snap["search.aux_cache.delta_refresh"] == 1
+        assert snap["search.aux_cache.miss"] == 1
+        _assert_aux_equal(cache.get(2), build_aux_shifted(res.graph, 2))
+
+
+class TestIncrementalSearchEngine:
+    def test_residual_for_tracks_solution_changes(self):
+        rng = np.random.default_rng(5)
+        g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=5), rng=6)
+        engine = IncrementalSearch(g)
+        sol_a = [0, 1, 2]
+        res = engine.residual_for(sol_a)
+        scratch = build_residual(g, sol_a)
+        assert np.array_equal(res.graph.cost, scratch.graph.cost)
+        sol_b = [1, 2, 3]
+        res = engine.residual_for(sol_b)
+        scratch = build_residual(g, sol_b)
+        for arr in ("tail", "head", "cost", "delay"):
+            assert np.array_equal(
+                getattr(res.graph, arr), getattr(scratch.graph, arr)
+            ), arr
+        assert res.version == 1
+
+    def test_aux_provider_rejects_foreign_residual(self):
+        g = anticorrelated_weights(gnp_digraph(8, 0.4, rng=1), rng=2)
+        engine = IncrementalSearch(g)
+        engine.residual_for([0])
+        foreign = build_residual(g, [0])
+        with pytest.raises(GraphError):
+            engine.aux_provider(foreign.graph, 2)
+
+
+# ---------------------------------------------------------------------------
+# dirty-anchor tracker
+# ---------------------------------------------------------------------------
+
+
+class TestAnchorTracker:
+    def test_unknown_anchor_is_dirty(self):
+        res = build_residual(gnp_digraph(6, 0.5, rng=0), [0])
+        tracker = AnchorTracker(res.graph.m)
+        assert tracker.is_dirty(res, 0)
+
+    def test_clean_after_store_dirty_after_incident_flip(self):
+        g = anticorrelated_weights(gnp_digraph(8, 0.5, rng=4), rng=4)
+        res = build_residual(g, [0, 1])
+        tracker = AnchorTracker(g.m)
+        anchor = int(res.graph.head[0])
+        tracker.store(anchor, res.version, {})
+        assert not tracker.is_dirty(res, anchor)
+        incident = np.concatenate(
+            [res.graph.out_edges(anchor), res.graph.in_edges(anchor)]
+        )
+        flipped = res.apply_flip([int(incident[0])])
+        tracker.note_flips(flipped, res.version)
+        assert tracker.is_dirty(res, anchor)
+
+    def test_replay_drops_candidates_with_flipped_edges(self):
+        from repro.core.bicameral import CandidateCycle
+
+        tracker = AnchorTracker(10)
+        cand_ok = CandidateCycle(edges=(1, 2), cost=0, delay=-1)
+        cand_stale = CandidateCycle(edges=(3, 4), cost=1, delay=-2)
+        tracker.store(0, 0, {(1, 1): [cand_ok, cand_stale]})
+        tracker.note_flips([3], 1)
+        assert tracker.replay(0, 1, 1) == [cand_ok]
+
+
+# ---------------------------------------------------------------------------
+# satellite regressions: long-cycle gadgets through the decomposers
+# ---------------------------------------------------------------------------
+
+
+def _ring(n):
+    """One simple cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    tails = np.arange(n, dtype=np.int64)
+    heads = (tails + 1) % n
+    w = np.ones(n, dtype=np.int64)
+    return DiGraph(n, tails, heads, w, w)
+
+
+class TestLongCycleGadgets:
+    N = 4000
+
+    def test_decompose_into_cycles_single_long_cycle(self):
+        g = _ring(self.N)
+        cycles = decompose_into_cycles(g, list(range(self.N)))
+        assert len(cycles) == 1 and len(cycles[0]) == self.N
+
+    def test_decompose_into_cycles_many_disjoint_cycles(self):
+        # 2-cycles between (2i, 2i+1): the old per-cycle min-scan was
+        # quadratic in the number of cycles on exactly this shape.
+        pairs = self.N // 2
+        tails = np.empty(self.N, dtype=np.int64)
+        heads = np.empty(self.N, dtype=np.int64)
+        tails[0::2] = np.arange(pairs) * 2
+        heads[0::2] = np.arange(pairs) * 2 + 1
+        tails[1::2] = np.arange(pairs) * 2 + 1
+        heads[1::2] = np.arange(pairs) * 2
+        w = np.ones(self.N, dtype=np.int64)
+        g = DiGraph(self.N, tails, heads, w, w)
+        cycles = decompose_into_cycles(g, list(range(self.N)))
+        assert len(cycles) == pairs
+        assert all(len(c) == 2 for c in cycles)
+
+    def test_decompose_flow_many_cycles(self):
+        pairs = self.N // 2
+        tails = np.empty(self.N, dtype=np.int64)
+        heads = np.empty(self.N, dtype=np.int64)
+        tails[0::2] = np.arange(pairs) * 2
+        heads[0::2] = np.arange(pairs) * 2 + 1
+        tails[1::2] = np.arange(pairs) * 2 + 1
+        heads[1::2] = np.arange(pairs) * 2
+        w = np.ones(self.N, dtype=np.int64)
+        g = DiGraph(self.N, tails, heads, w, w)
+        paths, cycles = decompose_flow(g, list(range(self.N)), 0, 0)
+        assert paths == []
+        assert len(cycles) == pairs
+
+    def test_split_closed_walk_long_figure_eight(self):
+        # Two long petals sharing vertex 0: the walk revisits 0 once.
+        n = self.N
+        half = n // 2
+        tails, heads = [], []
+        # Petal A: 0 -> 1 -> ... -> half-1 -> 0.
+        for i in range(half):
+            tails.append(i)
+            heads.append(i + 1 if i + 1 < half else 0)
+        # Petal B: 0 -> half -> half+1 -> ... -> n-1 -> 0.
+        tails.append(0)
+        heads.append(half)
+        for i in range(half, n - 1):
+            tails.append(i)
+            heads.append(i + 1)
+        tails.append(n - 1)
+        heads.append(0)
+        m = len(tails)
+        g = DiGraph(
+            n,
+            np.array(tails, dtype=np.int64),
+            np.array(heads, dtype=np.int64),
+            np.ones(m, dtype=np.int64),
+            np.ones(m, dtype=np.int64),
+        )
+        cycles = split_closed_walk(g, list(range(m)))
+        assert sorted(len(c) for c in cycles) == sorted([half, m - half])
+
+    def test_bellman_ford_long_negative_cycle(self):
+        g = _ring(600)
+        neg = g.with_weights(-np.ones(600, dtype=np.int64), g.delay)
+        cyc = find_negative_cycle(neg)
+        assert cyc is not None and len(cyc) == 600
+        assert int(neg.cost[np.asarray(cyc)].sum()) == -600
+
+
+# ---------------------------------------------------------------------------
+# satellite regressions: transform copy-on-write and aliasing safety
+# ---------------------------------------------------------------------------
+
+
+class TestTransformCopyOnWrite:
+    def test_inject_no_edges_shares_arrays(self):
+        from repro.graph.transform import inject_parallel_edges
+
+        g = gnp_digraph(8, 0.4, rng=0)
+        child = inject_parallel_edges(g, [])
+        assert np.shares_memory(child.cost, g.cost)
+        assert np.shares_memory(child.delay, g.delay)
+        assert np.shares_memory(child.tail, g.tail)
+
+    def test_subdivide_no_edges_shares_arrays(self):
+        from repro.graph.transform import subdivide_edges
+
+        g = gnp_digraph(8, 0.4, rng=0)
+        child = subdivide_edges(g, [])
+        assert np.shares_memory(child.cost, g.cost)
+
+    def test_mutating_child_never_changes_parent(self):
+        """A COW child handed to a mutating helper must leave the parent
+        (and the COW sibling) untouched — fresh arrays on every mutation."""
+        from repro.graph.transform import inject_parallel_edges, subdivide_edges
+
+        g = anticorrelated_weights(gnp_digraph(8, 0.5, rng=3), rng=3)
+        child = inject_parallel_edges(g, [])  # shares g's arrays
+        before = (g.tail.copy(), g.head.copy(), g.cost.copy(), g.delay.copy())
+        grandchild = subdivide_edges(child, [0, 1])
+        assert grandchild.m == child.m + 2
+        mutated = inject_parallel_edges(child, [0], cost_jitter=2, rng=1)
+        assert mutated.m == child.m + 1
+        for arr, ref in zip(("tail", "head", "cost", "delay"), before):
+            assert np.array_equal(getattr(g, arr), ref), arr
+
+    def test_scaling_shares_unscaled_arrays(self):
+        from repro.core import scale_instance
+
+        g = anticorrelated_weights(gnp_digraph(8, 0.5, rng=2), rng=2)
+        inst = KRSPInstance(g, 0, 7, 2, 10)
+        scaled = scale_instance(inst, 0.5, 0.5, cost_estimate=1)
+        # Tiny thetas: neither criterion is scaled, so both arrays share.
+        assert np.shares_memory(scaled.instance.graph.cost, g.cost)
+        assert np.shares_memory(scaled.instance.graph.delay, g.delay)
