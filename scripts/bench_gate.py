@@ -42,6 +42,8 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro._util.atomicio import atomic_write_json  # noqa: E402
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR4.json"
 SCHEMA = "bench-gate/1"
 
@@ -290,7 +292,7 @@ def run_gate(args) -> int:
                 f"{entry['floor']}x floor"
             )
 
-    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(args.out, report, indent=2, sort_keys=True)
     print(f"wrote {args.out}")
 
     if failures:

@@ -1,0 +1,165 @@
+"""Durable filesystem primitives shared by every writer that must survive
+a crash: the solve journal, the eval harness's JSONL sink, the fuzz
+crasher saver, and the bench report writers.
+
+Two disciplines cover every use case here:
+
+* **snapshot files** (reports, corpus entries, instance pins) go through
+  :func:`atomic_write_text` / :func:`atomic_write_bytes`: write to a
+  temporary file in the same directory, flush + ``fsync``, then
+  ``os.replace`` over the target and ``fsync`` the directory. A reader
+  never observes a half-written file — it sees the old content or the new
+  one, nothing in between.
+* **append-only JSONL / record logs** go through :class:`DurableAppender`
+  (fsync-on-append) and are *repaired* on reopen with
+  :func:`repair_jsonl_tail`, which truncates a torn trailing line left by
+  a mid-write crash. A valid prefix is always preserved.
+
+``fsync`` calls are real by default; pass ``fsync=False`` where a test
+cares about speed, not durability.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush directory metadata so a rename/creation survives power loss.
+
+    Best-effort: some filesystems refuse to open directories (then the
+    rename is already as durable as the platform allows).
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (tmp → fsync → rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(target.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, *, fsync: bool = True) -> None:
+    """Text counterpart of :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path: str | Path, obj: Any, *, fsync: bool = True, **dumps_kwargs: Any) -> None:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(obj, **dumps_kwargs) + "\n", fsync=fsync)
+
+
+class DurableAppender:
+    """Append-only writer with fsync-on-append semantics.
+
+    Every :meth:`append_line` is flushed and fsynced before returning, so
+    a record handed to this class is durable the moment the call returns —
+    a later crash can tear at most the record currently being written,
+    which :func:`repair_jsonl_tail` drops on the next open.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._fh = open(self.path, "ab")
+
+    def append_bytes(self, data: bytes) -> None:
+        self._fh.write(data)
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def append_line(self, line: str) -> None:
+        """Append one newline-terminated record (newline added here)."""
+        self.append_bytes(line.encode("utf-8") + b"\n")
+
+    def append_json(self, obj: Any) -> None:
+        self.append_line(json.dumps(obj))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "DurableAppender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def repair_jsonl_tail(path: str | Path) -> int:
+    """Truncate a torn trailing record of a JSONL file; return bytes dropped.
+
+    A crash mid-append leaves either a line without a terminating newline
+    or a line that is not valid JSON. Every *complete, valid* line is kept;
+    the torn tail (if any) is cut off in place. Missing files are fine
+    (0 dropped).
+    """
+    p = Path(path)
+    try:
+        raw = p.read_bytes()
+    except FileNotFoundError:
+        return 0
+    valid = 0
+    pos = 0
+    while pos < len(raw):
+        nl = raw.find(b"\n", pos)
+        if nl < 0:
+            break  # unterminated tail
+        line = raw[pos : nl]
+        if line.strip():
+            try:
+                json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break  # corrupt line: everything from here on is suspect
+        valid = nl + 1
+        pos = nl + 1
+    dropped = len(raw) - valid
+    if dropped:
+        with open(p, "r+b") as fh:
+            fh.truncate(valid)
+            fh.flush()
+            os.fsync(fh.fileno())
+    return dropped
+
+
+def iter_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield parsed records of a (repaired) JSONL file; missing file = empty."""
+    p = Path(path)
+    if not p.exists():
+        return
+    with open(p, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

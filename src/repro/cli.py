@@ -6,6 +6,10 @@ Commands
     Solve a kRSP instance from a JSON file (schema of
     :mod:`repro.graph.io` plus ``s``, ``t``, ``k``, ``delay_bound`` keys)
     or from a generated workload, printing paths and totals.
+``resume``
+    Resume a crashed or interrupted ``solve --checkpoint`` run from its
+    write-ahead journal; the finished result is bit-identical to the
+    uninterrupted solve (see docs/ROBUSTNESS.md, "Crash safety").
 ``experiment``
     Run one experiment from the registry (``f1``, ``f2``, ``e1`` ... ``e9``)
     and print its table.
@@ -47,21 +51,85 @@ from pathlib import Path
 
 from repro import obs
 from repro.core.krsp import solve_krsp
-from repro.errors import InfeasibleInstanceError, ReproError
+from repro.errors import (
+    InfeasibleInstanceError,
+    InputError,
+    JournalError,
+    ReproError,
+    SolveInterrupted,
+)
 from repro.eval.experiments import EXPERIMENTS
 from repro.eval.reporting import format_table
 from repro.eval.workloads import interesting_delay_bound
-from repro.graph.io import instance_from_dict, instance_to_dict
+from repro.graph.io import instance_from_dict, instance_to_dict, load_instance
 from repro.robustness import SolveBudget
 
 
 def _load_instance(path: str):
-    return instance_from_dict(json.loads(Path(path).read_text()))
+    return load_instance(path)
+
+
+def _print_solution(
+    g, s, t, k, bound, *, paths, cost, delay, feasible, status, cert,
+    detail, lower_bound, verify,
+) -> int:
+    print(f"cost={cost} delay={delay} (budget {bound}, "
+          f"feasible={feasible}) status={status} {detail}")
+    if lower_bound is not None:
+        print(f"certified lower bound on OPT cost: {float(lower_bound):.3f}")
+    if cert is not None and status != "ok":
+        ratio = (
+            f" cost_ratio<={cert.cost_bound_ratio:.3f}"
+            if cert.cost_bound_ratio is not None
+            else ""
+        )
+        elapsed = (
+            f" elapsed={cert.elapsed_seconds:.3f}s"
+            if cert.elapsed_seconds is not None
+            else ""
+        )
+        print(f"certificate: delay_slack={cert.delay_slack}{ratio}"
+              f"{elapsed} reason={cert.exhausted_reason}")
+    for i, path in enumerate(paths, 1):
+        hops = [int(g.tail[path[0]])] + [int(g.head[e]) for e in path]
+        print(f"path {i}: {hops} cost={g.cost_of(path)} delay={g.delay_of(path)}")
+    if verify:
+        from repro.core.verify import verify_solution
+
+        report = verify_solution(g, s, t, k, bound, paths)
+        audit = "clean" if report.clean else f"ISSUES: {report.issues}"
+        ratio = (
+            f" ratio<= {report.approximation_ratio_upper_bound:.3f}"
+            if report.approximation_ratio_upper_bound is not None
+            else ""
+        )
+        print(f"independent audit: {audit}{ratio}")
+        if not report.clean:
+            return 4
+    return 0
+
+
+def _report_interrupt(exc: SolveInterrupted) -> int:
+    print(f"interrupted by signal {exc.signum}; checkpoint flushed to "
+          f"{exc.checkpoint_path}", file=sys.stderr)
+    print(f"resume with: python -m repro resume {exc.checkpoint_path}",
+          file=sys.stderr)
+    return 128 + exc.signum
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
-    g, s, t, k, bound = _load_instance(args.instance)
+    try:
+        g, s, t, k, bound = _load_instance(args.instance)
+    except InputError as exc:
+        print(f"bad instance: {exc}", file=sys.stderr)
+        return 2
     eps = args.eps if args.eps else None
+    if args.checkpoint and (eps is not None or args.fallback
+                            or args.deadline is not None):
+        print("--checkpoint is incompatible with --eps, --fallback and "
+              "--deadline (checkpointed solves must be deterministic and "
+              "replayable; see docs/ROBUSTNESS.md)", file=sys.stderr)
+        return 2
     session = (
         obs.session(trace_path=args.trace, label=f"solve {args.instance}")
         if args.trace
@@ -69,7 +137,28 @@ def cmd_solve(args: argparse.Namespace) -> int:
     )
     try:
         with session:
-            if args.fallback:
+            if args.checkpoint:
+                from repro.robustness import (
+                    DEFAULT_CHECKPOINT_EVERY,
+                    GracefulShutdown,
+                    solve_checkpointed,
+                )
+
+                with GracefulShutdown() as shutdown:
+                    sol = solve_checkpointed(
+                        g, s, t, k, bound,
+                        journal_path=args.checkpoint,
+                        checkpoint_every=(args.checkpoint_every
+                                          or DEFAULT_CHECKPOINT_EVERY),
+                        phase1=args.phase1,
+                        shutdown=shutdown,
+                    )
+                paths, cost, delay = sol.paths, sol.cost, sol.delay
+                feasible, status, cert = sol.delay_feasible, sol.status, sol.certificate
+                detail = (f"iterations={sol.iterations} "
+                          f"checkpoint={args.checkpoint}")
+                lower_bound = sol.cost_lower_bound
+            elif args.fallback:
                 from repro.robustness import solve_with_fallback
 
                 fb = solve_with_fallback(
@@ -95,6 +184,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 feasible, status, cert = sol.delay_feasible, sol.status, sol.certificate
                 detail = f"iterations={sol.iterations}"
                 lower_bound = sol.cost_lower_bound
+    except SolveInterrupted as exc:
+        return _report_interrupt(exc)
     except InfeasibleInstanceError as exc:
         # Exit 2: a property of the *instance*, proven — distinct from
         # exit 1 (the solve itself failed) so scripts can tell them apart.
@@ -105,40 +196,46 @@ def cmd_solve(args: argparse.Namespace) -> int:
         return 1
     if args.trace:
         print(f"trace written to {args.trace}")
-    print(f"cost={cost} delay={delay} (budget {bound}, "
-          f"feasible={feasible}) status={status} {detail}")
-    if lower_bound is not None:
-        print(f"certified lower bound on OPT cost: {float(lower_bound):.3f}")
-    if cert is not None and status != "ok":
-        ratio = (
-            f" cost_ratio<={cert.cost_bound_ratio:.3f}"
-            if cert.cost_bound_ratio is not None
-            else ""
-        )
-        elapsed = (
-            f" elapsed={cert.elapsed_seconds:.3f}s"
-            if cert.elapsed_seconds is not None
-            else ""
-        )
-        print(f"certificate: delay_slack={cert.delay_slack}{ratio}"
-              f"{elapsed} reason={cert.exhausted_reason}")
-    for i, path in enumerate(paths, 1):
-        hops = [int(g.tail[path[0]])] + [int(g.head[e]) for e in path]
-        print(f"path {i}: {hops} cost={g.cost_of(path)} delay={g.delay_of(path)}")
-    if args.verify:
-        from repro.core.verify import verify_solution
+    return _print_solution(
+        g, s, t, k, bound, paths=paths, cost=cost, delay=delay,
+        feasible=feasible, status=status, cert=cert, detail=detail,
+        lower_bound=lower_bound, verify=args.verify,
+    )
 
-        report = verify_solution(g, s, t, k, bound, paths)
-        status = "clean" if report.clean else f"ISSUES: {report.issues}"
-        ratio = (
-            f" ratio<= {report.approximation_ratio_upper_bound:.3f}"
-            if report.approximation_ratio_upper_bound is not None
-            else ""
-        )
-        print(f"independent audit: {status}{ratio}")
-        if not report.clean:
-            return 4
-    return 0
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.robustness import GracefulShutdown, read_journal, resume_krsp
+
+    session = (
+        obs.session(trace_path=args.trace, label=f"resume {args.journal}")
+        if args.trace
+        else contextlib.nullcontext()
+    )
+    try:
+        header = read_journal(args.journal).header
+        g, s, t, k, bound = instance_from_dict(header["instance"])
+        with session:
+            with GracefulShutdown() as shutdown:
+                sol = resume_krsp(args.journal, shutdown=shutdown)
+    except SolveInterrupted as exc:
+        return _report_interrupt(exc)
+    except JournalError as exc:
+        print(f"bad journal: {exc}", file=sys.stderr)
+        return 2
+    except InfeasibleInstanceError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return _print_solution(
+        g, s, t, k, bound, paths=sol.paths, cost=sol.cost, delay=sol.delay,
+        feasible=sol.delay_feasible, status=sol.status, cert=sol.certificate,
+        detail=f"iterations={sol.iterations} resumed={args.journal}",
+        lower_bound=sol.cost_lower_bound, verify=args.verify,
+    )
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -164,8 +261,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         n_instances=args.n_instances,
         seed=args.seed,
     )
+    if (args.resume or args.jsonl) and not args.parallel:
+        print("--jsonl/--resume require --parallel (the durable record "
+              "sink lives in the parallel harness)", file=sys.stderr)
+        return 2
+    if args.resume and not args.jsonl:
+        print("--resume requires --jsonl PATH (the file to resume from)",
+              file=sys.stderr)
+        return 2
     try:
-        records = run_sweep(sweep, parallel=args.parallel)
+        if args.parallel and args.jsonl:
+            from repro.robustness import GracefulShutdown
+
+            with GracefulShutdown() as shutdown:
+                records = run_sweep(
+                    sweep, parallel=True,
+                    jsonl_path=args.jsonl, resume=args.resume,
+                    shutdown=shutdown,
+                )
+        else:
+            records = run_sweep(sweep, parallel=args.parallel)
+    except SolveInterrupted as exc:
+        print(f"interrupted by signal {exc.signum}; completed trials are "
+              f"durable in {exc.checkpoint_path}", file=sys.stderr)
+        print(f"resume with: python -m repro sweep ... --parallel "
+              f"--jsonl {exc.checkpoint_path} --resume", file=sys.stderr)
+        return 128 + exc.signum
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -328,7 +449,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record a telemetry trace (spans, counters, "
                               "events) to this JSONL file; inspect with "
                               "`repro trace OUT.JSONL`")
+    p_solve.add_argument("--checkpoint", default=None, metavar="JOURNAL",
+                         help="write a crash-safe write-ahead journal here; "
+                              "if the process dies, `repro resume JOURNAL` "
+                              "finishes the solve bit-identically")
+    p_solve.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="full-state snapshot cadence in cancellation "
+                              "iterations (default 64; smaller = cheaper "
+                              "resume, larger = cheaper solve)")
     p_solve.set_defaults(func=cmd_solve)
+
+    p_resume = sub.add_parser(
+        "resume", help="resume a crashed/interrupted checkpointed solve"
+    )
+    p_resume.add_argument("journal", help="journal path from solve --checkpoint")
+    p_resume.add_argument("--verify", action="store_true",
+                          help="independently audit the final solution")
+    p_resume.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                          help="record a telemetry trace (includes the "
+                               "re-emitted cancel.iteration trail and the "
+                               "resume span)")
+    p_resume.set_defaults(func=cmd_resume)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter-grid sweep")
     p_sweep.add_argument("family", help="workload family name")
@@ -339,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--n-instances", type=int, default=5)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--parallel", action="store_true")
+    p_sweep.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="with --parallel: append every trial record "
+                              "durably to this JSONL the moment it finishes")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="with --jsonl: skip trials that already have "
+                              "a durable record (continue a killed sweep)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")

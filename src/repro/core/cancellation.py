@@ -71,6 +71,25 @@ class IterationRecord:
 
 
 @dataclass
+class ResumeState:
+    """Mid-loop cancellation state restored from a checkpoint journal.
+
+    Built by :func:`repro.robustness.checkpointing.resume_krsp` out of the
+    last durable snapshot plus tail replay; handing it to
+    :func:`cancel_to_feasibility` makes the loop continue exactly where
+    the crashed process stopped — same solution, same repetition-guard
+    memory, same best-so-far, same (delta-advanced) residual engine — so
+    the continuation is bit-identical to the uninterrupted run.
+    """
+
+    solution: PathSet
+    records: list[IterationRecord]
+    seen_states: set[tuple[int, ...]]
+    best: PathSet
+    engine: object | None = None  # repro.perf.IncrementalSearch, pre-advanced
+
+
+@dataclass
 class CancellationResult:
     """Outcome of the cancellation phase.
 
@@ -117,11 +136,26 @@ def cancel_to_feasibility(
     meter: BudgetMeter | None = None,
     incremental: bool | None = None,
     anchor_workers: int | None = None,
+    journal: "object | None" = None,
+    resume_state: ResumeState | None = None,
 ) -> CancellationResult:
     """Drive ``start`` to delay feasibility via bicameral cancellation.
 
     Parameters
     ----------
+    journal:
+        Checkpoint hook (duck-typed — see
+        :class:`repro.robustness.checkpointing.CheckpointHook`). Per
+        iteration the hook durably records the step *before* it is
+        committed in memory (write-ahead discipline), periodically
+        snapshots the full loop state, and exposes a cooperative
+        shutdown poll: a pending SIGINT/SIGTERM flushes a snapshot and
+        raises :class:`~repro.errors.SolveInterrupted`.
+    resume_state:
+        Restored mid-loop state from a journal
+        (:class:`ResumeState`); ``start`` is then ignored as the
+        starting point and the loop continues from the restored
+        solution with its full repetition-guard history.
     incremental:
         Use the :mod:`repro.perf` incremental search engine: the residual
         graph is kept alive across iterations and advanced by in-place
@@ -188,12 +222,32 @@ def cancel_to_feasibility(
         incremental if incremental is not None else finder == "production"
     )
     engine = None
-    if use_incremental:
+    if resume_state is not None:
+        sol = resume_state.solution
+        result.solution = sol
+        result.records = list(resume_state.records)
+        seen_states = set(resume_state.seen_states)
+        best = resume_state.best
+        engine = resume_state.engine if use_incremental else None
+    if use_incremental and engine is None:
         from repro.perf import IncrementalSearch
 
         engine = IncrementalSearch(g)
 
+    def _checkpoint_state() -> dict:
+        # Read at call time, so one closure serves every snapshot point.
+        return {
+            "solution": sol,
+            "best": best,
+            "seen_states": seen_states,
+            "records": result.records,
+            "residual": engine.residual if engine is not None else None,
+            "meter": meter,
+        }
+
     while sol.delay > D:
+        if journal is not None:
+            journal.poll_shutdown(_checkpoint_state)
         if result.iterations >= max_iterations:
             if meter is not None:
                 result.exhausted = "iterations"
@@ -303,6 +357,21 @@ def cancel_to_feasibility(
             )
         seen_states.add(state)
 
+        if journal is not None:
+            # Write-ahead: the step is durable before the in-memory commit
+            # below. A crash in between replays this record on resume,
+            # which lands in exactly the state the commit would have.
+            journal.record_iteration(
+                iteration=result.iterations + 1,
+                ctype=ctype,
+                cycle=cycle,
+                prev_edge_ids=sol.edge_ids,
+                new_sol=new_sol,
+                r_before=r_before,
+                residual_version=residual.version if engine is not None else None,
+                meter=meter,
+            )
+
         result.records.append(
             IterationRecord(
                 iteration=result.iterations + 1,
@@ -350,6 +419,8 @@ def cancel_to_feasibility(
             best = sol
         if meter is not None:
             meter.iterations_used += 1
+        if journal is not None:
+            journal.maybe_snapshot(result.iterations, _checkpoint_state)
 
     if result.exhausted is not None:
         # Hand back the closest-to-feasible valid solution, not the

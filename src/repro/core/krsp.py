@@ -151,6 +151,7 @@ def solve_krsp(
     finder: str = "production",
     budget: SolveBudget | None = None,
     incremental: bool | None = None,
+    checkpoint_hook=None,
 ) -> KRSPSolution:
     """Solve kRSP with the paper's bifactor algorithm.
 
@@ -186,6 +187,13 @@ def solve_krsp(
         (there is no valid answer to degrade to). The feasibility gate is
         mandatory work, so a budgeted solve always has at least the
         minimum-delay flow to fall back on.
+    checkpoint_hook:
+        Crash-safety seam
+        (:class:`repro.robustness.checkpointing.CheckpointHook`): writes
+        the write-ahead journal prelude after the LP phases and hands the
+        per-iteration/snapshot hooks to the cancellation loop. Use
+        :func:`repro.robustness.checkpointing.solve_checkpointed` rather
+        than constructing one by hand.
 
     Raises
     ------
@@ -203,14 +211,14 @@ def solve_krsp(
             sol = _solve_krsp_impl(
                 g, s, t, k, delay_bound, phase1, eps, b_max,
                 max_iterations, opt_cost, strict_monitor, finder, meter,
-                incremental,
+                incremental, checkpoint_hook,
             )
         sol.counters = dict(tel.counters)
         return sol
     return _solve_krsp_impl(
         g, s, t, k, delay_bound, phase1, eps, b_max,
         max_iterations, opt_cost, strict_monitor, finder, meter,
-        incremental,
+        incremental, checkpoint_hook,
     )
 
 
@@ -229,6 +237,7 @@ def _solve_krsp_impl(
     finder: str,
     meter: BudgetMeter | None = None,
     incremental: bool | None = None,
+    checkpoint_hook=None,
 ) -> KRSPSolution:
     """The pipeline body of :func:`solve_krsp` (telemetry-agnostic)."""
     timer = Timer(span_prefix="krsp")
@@ -315,6 +324,18 @@ def _solve_krsp_impl(
                 if cap_res is not None:
                     cap, cap_paths = cap_res
 
+            if checkpoint_hook is not None:
+                # Durable prelude: everything the loop needs that the LP
+                # phases computed, so a resume never re-runs them.
+                checkpoint_hook.write_prelude(
+                    provider=p1.provider,
+                    p1_solution=p1.solution,
+                    lower_bound=lower_bound,
+                    cost_cap=cap,
+                    cap_paths=cap_paths,
+                    min_delay_flow=min_delay_flow,
+                )
+
             with timer.section("cancel"):
                 result = cancel_to_feasibility(
                     work_inst,
@@ -327,6 +348,7 @@ def _solve_krsp_impl(
                     strict_monitor=strict_monitor and not scaled,
                     finder=finder,
                     incremental=incremental,
+                    journal=checkpoint_hook,
                 )
             exhausted = result.exhausted
         except BudgetExhaustedError as exc:
@@ -340,16 +362,50 @@ def _solve_krsp_impl(
             g, s, t, delay_bound, min_delay_flow, p1, cap_paths, result
         )
 
-    flat = [e for p in final_paths for e in p]
-    cost = g.cost_of(flat)
-    delay = g.delay_of(flat)
-
     lb = lower_bound
     if scaled and lb is not None and theta is not None:
         # Scaled-units bound maps back conservatively: c'(OPT) >= lb implies
         # C_OPT >= theta_c * lb is NOT valid (floors shrink); only the
         # unscaled-provider bound survives, so drop it.
         lb = None
+
+    return assemble_solution(
+        g,
+        delay_bound,
+        final_paths=final_paths,
+        result=result,
+        exhausted=exhausted,
+        lower_bound=lb,
+        provider_name=p1.provider if p1 is not None else "",
+        scaled=scaled,
+        timings=timer.as_dict(),
+        meter=meter,
+    )
+
+
+def assemble_solution(
+    g: DiGraph,
+    delay_bound: int,
+    *,
+    final_paths: list[list[int]],
+    result: CancellationResult | None,
+    exhausted: str | None,
+    lower_bound: Fraction | None,
+    provider_name: str,
+    scaled: bool,
+    timings: dict[str, float],
+    meter: BudgetMeter | None,
+) -> KRSPSolution:
+    """Assemble the :class:`KRSPSolution` (status, certificate, telemetry).
+
+    Shared between the live pipeline and
+    :func:`repro.robustness.checkpointing.resume_krsp`, so a resumed solve
+    reports through exactly the same taxonomy and emits the same terminal
+    events as an uninterrupted one.
+    """
+    flat = [e for p in final_paths for e in p]
+    cost = g.cost_of(flat)
+    delay = g.delay_of(flat)
 
     if exhausted is None:
         status = STATUS_OK
@@ -361,14 +417,13 @@ def _solve_krsp_impl(
         cost,
         delay,
         delay_bound,
-        lb,
+        lower_bound,
         exhausted_reason=exhausted,
         usage=meter.usage() if meter is not None else None,
     )
 
     iterations = result.iterations if result is not None else 0
     records = result.records if result is not None else []
-    provider_name = p1.provider if p1 is not None else ""
 
     obs.inc("krsp.solves")
     obs.gauge("krsp.cost", cost)
@@ -400,12 +455,12 @@ def _solve_krsp_impl(
         delay=delay,
         delay_bound=delay_bound,
         delay_feasible=delay <= delay_bound,
-        cost_lower_bound=lb,
+        cost_lower_bound=lower_bound,
         iterations=iterations,
         records=records,
         provider=provider_name,
         scaled=scaled,
-        timings=timer.as_dict(),
+        timings=timings,
         status=status,
         certificate=certificate,
     )

@@ -72,6 +72,36 @@ class ResidualGraph:
         obs.add("residual.delta_edges_flipped", len(eids))
         return eids
 
+    def to_state(self) -> dict:
+        """Serializable snapshot (graph arrays + CSR + mask + version).
+
+        The checkpoint journal's full-snapshot records carry this so a
+        resume restores the incremental engine's residual bit-identically
+        without replaying the whole flip history (resume cost stays
+        ``O(journal tail)``).
+        """
+        from repro.graph.digraph import encode_array
+
+        return {
+            "graph": self.graph.to_state(),
+            "reversed_mask": encode_array(self.reversed_mask),
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ResidualGraph":
+        """Inverse of :meth:`to_state`."""
+        from repro.graph.digraph import decode_array
+
+        mask = decode_array(state["reversed_mask"])
+        if mask.dtype != np.bool_:
+            mask = mask.astype(bool)
+        return cls(
+            graph=DiGraph.from_state(state["graph"]),
+            reversed_mask=mask,
+            version=int(state["version"]),
+        )
+
     def apply_cycle(self, old_solution_edges, cycles: list[list[int]]) -> list[int]:
         """Apply ``oplus`` *and* update this residual in place.
 

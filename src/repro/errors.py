@@ -19,6 +19,41 @@ class GraphError(ReproError):
     where nonnegative ones are required, inconsistent array lengths)."""
 
 
+class InputError(GraphError):
+    """Untrusted input (an instance/graph file or payload) failed
+    validation: malformed JSON, non-integer or NaN/inf weights, values
+    overflowing int64, out-of-range endpoints, duplicate edge ids.
+
+    Subclasses :class:`GraphError` so existing ``except GraphError``
+    call sites keep working; loaders raise this instead of leaking
+    ``IndexError``/``ValueError``/``KeyError`` from half-parsed data.
+    """
+
+
+class JournalError(ReproError):
+    """A solve journal (write-ahead log / checkpoint file) is unusable:
+    missing or unsealed header, unsupported format version, instance-hash
+    mismatch, or a replayed record that contradicts the solver (totals
+    mismatch, broken Lemma-12 monotone improvement). Torn *tails* are not
+    errors — they are truncated silently, as crash debris is expected."""
+
+
+class SolveInterrupted(ReproError):
+    """A cooperative shutdown signal (SIGINT/SIGTERM) stopped the solve.
+
+    Raised after the in-flight state has been flushed to the checkpoint
+    journal (when one is attached), so the run can be continued with
+    ``repro resume``. ``signum`` is the signal number; CLI layers map it
+    to the conventional exit code ``128 + signum`` (130/143).
+    """
+
+    def __init__(self, signum: int, checkpoint_path: str | None = None):
+        where = f"; checkpoint at {checkpoint_path}" if checkpoint_path else ""
+        super().__init__(f"interrupted by signal {signum}{where}")
+        self.signum = signum
+        self.checkpoint_path = checkpoint_path
+
+
 class InfeasibleInstanceError(ReproError):
     """The kRSP instance admits no solution.
 

@@ -34,7 +34,6 @@ fault injection for tests rides the same payloads: see
 
 from __future__ import annotations
 
-import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -42,12 +41,19 @@ from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro import obs
-from repro.errors import BudgetExhaustedError, InfeasibleInstanceError, ReproError
+from repro._util.atomicio import DurableAppender, iter_jsonl, repair_jsonl_tail
+from repro.errors import (
+    BudgetExhaustedError,
+    InfeasibleInstanceError,
+    ReproError,
+    SolveInterrupted,
+)
 from repro.eval.harness import TrialRecord
 from repro.eval.workloads import WorkloadInstance
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.oracle.faults import FaultPlan, fault_spec_from_dict
 from repro.robustness.budget import SolveBudget, metered
+from repro.robustness.signals import GracefulShutdown
 
 #: Worker-side registry of named solver adapters. Populated at import time;
 #: extend with :func:`register_solver` before launching a pool (the
@@ -172,6 +178,15 @@ def _run_one(payload: dict) -> dict:
     return record
 
 
+def _trial_key(rec: dict) -> tuple:
+    """Identity of one trial for resume matching (everything the harness
+    knows about a trial before running it)."""
+    return (
+        rec["workload"], rec["seed"], rec["solver"],
+        rec["n"], rec["m"], rec["k"], rec["delay_bound"],
+    )
+
+
 def run_trials_parallel(
     instances: Iterable[WorkloadInstance],
     solver_names: list[str],
@@ -181,6 +196,8 @@ def run_trials_parallel(
     stall_grace: float = 5.0,
     fault_plan: FaultPlan | None = None,
     jsonl_path: str | Path | None = None,
+    resume: bool = False,
+    shutdown: GracefulShutdown | None = None,
 ) -> list[TrialRecord]:
     """Parallel counterpart of :func:`repro.eval.harness.run_trials`.
 
@@ -205,8 +222,22 @@ def run_trials_parallel(
         Deterministic fault injection keyed by instance seed
         (:class:`repro.oracle.faults.FaultPlan`) — test seam.
     jsonl_path:
-        Append each record to this JSONL file the moment it is finalized
-        (crash-safe incremental persistence).
+        Append each record to this JSONL file the moment it is finalized.
+        Appends are fsync'd (:class:`~repro._util.atomicio.DurableAppender`)
+        and a torn trailing line from a previously crashed harness is
+        repaired before appending, so the file is always parseable JSONL.
+    resume:
+        With ``jsonl_path``: records already durable in the file are
+        matched to this run's trials by identity (workload, seed, solver,
+        instance shape) and **not** re-run; only trials without a durable
+        record execute. A sweep killed halfway therefore continues where
+        it stopped (``repro sweep --jsonl F --resume``).
+    shutdown:
+        Active :class:`~repro.robustness.GracefulShutdown`. On the first
+        SIGINT/SIGTERM the harness stops launching work, keeps every
+        already-durable record, and raises
+        :class:`~repro.errors.SolveInterrupted` (in-flight trials get no
+        record, so a later ``resume`` re-runs exactly those).
     """
     payloads: list[dict] = []
     for inst in instances:
@@ -232,26 +263,57 @@ def run_trials_parallel(
                 }
             )
 
-    sink = open(jsonl_path, "a", encoding="utf-8") if jsonl_path is not None else None
+    # Records restored from a previous (crashed/interrupted) run.
+    loaded: list[dict | None] = [None] * len(payloads)
+    if jsonl_path is not None and Path(jsonl_path).exists():
+        dropped = repair_jsonl_tail(jsonl_path)
+        if dropped:
+            obs.add("parallel.jsonl_torn_bytes_dropped", dropped)
+        if resume:
+            durable: dict[tuple, list[dict]] = {}
+            for rec in iter_jsonl(jsonl_path):
+                durable.setdefault(_trial_key(rec), []).append(rec)
+            for i, payload in enumerate(payloads):
+                bucket = durable.get(_trial_key(_base_record(payload)))
+                if bucket:
+                    loaded[i] = bucket.pop(0)
+            obs.add("parallel.trials_resumed",
+                    sum(1 for r in loaded if r is not None))
 
-    def on_record(_index: int, record: dict) -> None:
+    to_run = [i for i, rec in enumerate(loaded) if rec is None]
+    results: list[dict | None] = list(loaded)
+    sink = (
+        DurableAppender(jsonl_path) if jsonl_path is not None else None
+    )
+
+    def on_record(index: int, record: dict) -> None:
+        results[to_run[index]] = record
         if sink is not None:
-            sink.write(json.dumps(record) + "\n")
-            sink.flush()
+            sink.append_json(record)
 
     try:
-        results = resilient_pool_map(
+        fresh = resilient_pool_map(
             _run_one,
-            payloads,
+            [payloads[i] for i in to_run],
             max_workers=max_workers,
             task_timeout=trial_timeout,
             stall_grace=stall_grace,
             failure_record=_trial_failure_record,
             on_record=on_record,
+            shutdown=shutdown,
         )
+    except SolveInterrupted as exc:
+        # Durable records are already on disk; tell the caller where.
+        raise SolveInterrupted(
+            exc.signum,
+            checkpoint_path=str(jsonl_path) if jsonl_path is not None else None,
+        ) from None
     finally:
         if sink is not None:
             sink.close()
+    for j, i in enumerate(to_run):
+        results[i] = fresh[j]
+    assert all(r is not None for r in results)
     return [TrialRecord(**r) for r in results]
 
 
@@ -281,6 +343,7 @@ def resilient_pool_map(
     stall_grace: float = 5.0,
     failure_record: Callable[[dict, str, str, float], dict],
     on_record: Callable[[int, dict], None] | None = None,
+    shutdown: GracefulShutdown | None = None,
 ) -> list[dict]:
     """Generic fault-tolerant process-pool map: one record per payload.
 
@@ -300,6 +363,11 @@ def resilient_pool_map(
     persistence hook). Each payload is shipped with an added ``"attempt"``
     field (1 on the first round, 2 after a respawn) so deterministic fault
     injection can target specific attempts.
+
+    ``shutdown`` makes the map interruptible: when the guard trips (first
+    SIGINT/SIGTERM), remaining futures are cancelled and
+    :class:`~repro.errors.SolveInterrupted` propagates — records already
+    finalized (and persisted via ``on_record``) are kept.
     """
     results: list[dict | None] = [None] * len(payloads)
 
@@ -310,7 +378,7 @@ def resilient_pool_map(
 
     lost = _run_pool_round(fn, payloads, list(range(len(payloads))), 1,
                            max_workers, task_timeout, stall_grace,
-                           finalize, failure_record)
+                           finalize, failure_record, shutdown)
     if lost:
         # The pool broke (a worker died). Respawn once and retry only the
         # tasks whose results were lost — everything already finalized is
@@ -319,7 +387,7 @@ def resilient_pool_map(
         obs.emit("parallel.pool_respawn", lost_trials=len(lost))
         lost = _run_pool_round(fn, payloads, lost, 2,
                                max_workers, task_timeout, stall_grace,
-                               finalize, failure_record)
+                               finalize, failure_record, shutdown)
         for i in lost:
             obs.inc("parallel.trials_crashed")
             finalize(i, failure_record(
@@ -341,14 +409,23 @@ def _run_pool_round(
     stall_grace: float,
     finalize: Callable[[int, dict], None],
     failure_record: Callable[[dict, str, str, float], dict],
+    shutdown: GracefulShutdown | None = None,
 ) -> list[int]:
     """Run one pool over ``pending`` payload indices.
 
     Finalizes a record for every index it can; returns the indices whose
     results were lost to a broken pool (candidates for the retry round).
+    With ``shutdown``, the wait loop polls (sub-second) so a delivered
+    signal cancels remaining work promptly and raises
+    :class:`~repro.errors.SolveInterrupted`.
     """
     lost: list[int] = []
     guard = None if task_timeout is None else task_timeout + stall_grace
+    # Without a shutdown guard we can block a full stall window at a time;
+    # with one we must wake often enough to notice the signal.
+    poll = guard if shutdown is None else (
+        0.5 if guard is None else min(0.5, guard)
+    )
     pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         futures = {
@@ -356,9 +433,17 @@ def _run_pool_round(
             for i in pending
         }
         not_done = set(futures)
+        last_progress = time.monotonic()
         while not_done:
-            done, not_done = wait(not_done, timeout=guard, return_when=FIRST_COMPLETED)
-            if not done:
+            if shutdown is not None and shutdown.triggered:
+                for fut in not_done:
+                    fut.cancel()
+                obs.inc("parallel.interrupted")
+                raise SolveInterrupted(shutdown.signum or 0)
+            done, not_done = wait(not_done, timeout=poll, return_when=FIRST_COMPLETED)
+            if done:
+                last_progress = time.monotonic()
+            elif guard is not None and time.monotonic() - last_progress >= guard:
                 # Stall: a full guard window passed with zero completions.
                 # Workers stuck in non-cooperative code cannot be killed
                 # from here portably; record and abandon them.

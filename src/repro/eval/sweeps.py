@@ -66,8 +66,23 @@ class Sweep:
         return [dict(zip(keys, combo)) for combo in itertools.product(*values)]
 
 
-def run_sweep(sweep: Sweep, parallel: bool = False, max_workers: int | None = None) -> list[TrialRecord]:
-    """Execute the sweep; every record's ``extra`` carries its grid cell."""
+def run_sweep(
+    sweep: Sweep,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    *,
+    jsonl_path=None,
+    resume: bool = False,
+    shutdown=None,
+) -> list[TrialRecord]:
+    """Execute the sweep; every record's ``extra`` carries its grid cell.
+
+    ``jsonl_path``/``resume``/``shutdown`` (parallel mode only) make the
+    sweep crash- and signal-resumable — they are forwarded per cell to
+    :func:`repro.eval.parallel.run_trials_parallel`, which appends each
+    record durably the moment it finalizes and, on resume, re-runs only
+    trials without a durable record.
+    """
     if sweep.family not in WORKLOADS:
         raise KeyError(f"unknown workload family {sweep.family!r}")
     family = WORKLOADS[sweep.family]
@@ -80,7 +95,12 @@ def run_sweep(sweep: Sweep, parallel: bool = False, max_workers: int | None = No
             from repro.eval.parallel import run_trials_parallel
 
             cell_records = run_trials_parallel(
-                instances, list(sweep.solvers), max_workers=max_workers
+                instances,
+                list(sweep.solvers),
+                max_workers=max_workers,
+                jsonl_path=jsonl_path,
+                resume=resume,
+                shutdown=shutdown,
             )
         else:
             from repro.eval.parallel import _SOLVER_REGISTRY

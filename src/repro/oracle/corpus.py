@@ -108,5 +108,9 @@ def save_entry(
     while path.exists():
         path = root / f"{base}_{i}.json"
         i += 1
-    path.write_text(json.dumps(entry_to_dict(entry), indent=1, sort_keys=True) + "\n")
+    # Atomic: a crasher caught seconds before the process dies must land
+    # whole — a half-written reproducer would poison every future replay.
+    from repro._util.atomicio import atomic_write_json
+
+    atomic_write_json(path, entry_to_dict(entry), indent=1, sort_keys=True)
     return path

@@ -285,5 +285,8 @@ def _run_fuzz_impl(config: FuzzConfig) -> FuzzReport:
 
 
 def write_report(report: FuzzReport, path: str | Path) -> None:
-    """Serialize ``report`` as JSON to ``path``."""
-    Path(path).write_text(json.dumps(report.as_dict(), indent=1) + "\n")
+    """Serialize ``report`` as JSON to ``path`` (atomic — CI reads this
+    file even when the fuzz process is later killed)."""
+    from repro._util.atomicio import atomic_write_json
+
+    atomic_write_json(path, report.as_dict(), indent=1)

@@ -21,6 +21,8 @@ full cancelled-cycle sequence and telemetry trail match.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.auxgraph import AuxGraph
 from repro.core.residual import ResidualGraph, build_residual
 from repro.errors import GraphError
@@ -88,6 +90,23 @@ class IncrementalSearch:
                     self._tracker.note_flips(flipped, self._residual.version)
         self._solution = new_solution
         return self._residual
+
+    def restore(self, residual: ResidualGraph) -> None:
+        """Adopt a checkpoint-restored residual as the engine's live state.
+
+        The resume path (:func:`repro.robustness.checkpointing.resume_krsp`)
+        deserializes the snapshot's residual and hands it here; the solution
+        it reflects is exactly its reversed edge set, so no separate edge
+        list is needed. The aux cache restarts cold — correctness never
+        depended on it being warm — and the anchor tracker is dropped
+        (resume supports the production finder only).
+        """
+        self._residual = residual
+        self._solution = frozenset(
+            int(e) for e in np.nonzero(residual.reversed_mask)[0]
+        )
+        self._cache = AuxCache(residual, max_bytes=self._max_cache_bytes)
+        self._tracker = None
 
     def aux_provider(self, residual_graph: DiGraph, B: int) -> AuxGraph:
         """Drop-in for ``build_aux_shifted`` backed by the keyed cache.

@@ -12,7 +12,15 @@ package is the seam the whole stack routes through to guarantee that:
   :class:`Certificate` every degraded answer carries;
 * :mod:`repro.robustness.fallback` — the deadline-sliced
   ``bicameral → lp_rounding_2_2 → greedy_sequential`` degradation chain
-  with retry/backoff (``repro solve --deadline S --fallback``).
+  with retry/backoff (``repro solve --deadline S --fallback``);
+* :mod:`repro.robustness.journal` / :mod:`repro.robustness.checkpointing`
+  — crash safety: a CRC-framed, fsync'd write-ahead journal of the
+  cancellation loop, periodic full-state snapshots, and
+  :func:`resume_krsp`, which reconstructs a killed solve and finishes it
+  bit-identically (``repro solve --checkpoint J`` / ``repro resume J``);
+* :mod:`repro.robustness.signals` — two-strike SIGINT/SIGTERM handling
+  (:class:`GracefulShutdown`): the first signal flushes a checkpoint and
+  exits ``128 + signum``, the second hard-exits.
 
 Typical use::
 
@@ -48,11 +56,42 @@ from repro.robustness.fallback import (
     TierReport,
     solve_with_fallback,
 )
+from repro.robustness.journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalDoc,
+    JournalWriter,
+    read_journal,
+)
+from repro.robustness.signals import GracefulShutdown
+
+# checkpointing sits *above* the solver facade (it imports repro.core.krsp),
+# while this package is imported *by* solver internals (budget, anytime) —
+# so it must load lazily to keep the import graph acyclic (PEP 562).
+_CHECKPOINTING_NAMES = {
+    "CheckpointHook",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "resume_krsp",
+    "solve_checkpointed",
+}
+
+
+def __getattr__(name: str):
+    if name in _CHECKPOINTING_NAMES:
+        from repro.robustness import checkpointing
+
+        return getattr(checkpointing, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BudgetMeter",
     "Certificate",
+    "CheckpointHook",
     "DEFAULT_CHAIN",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "GracefulShutdown",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalDoc",
+    "JournalWriter",
     "FallbackResult",
     "STATUSES",
     "STATUS_BUDGET_EXHAUSTED",
@@ -65,5 +104,8 @@ __all__ = [
     "current_meter",
     "make_certificate",
     "metered",
+    "read_journal",
+    "resume_krsp",
+    "solve_checkpointed",
     "solve_with_fallback",
 ]

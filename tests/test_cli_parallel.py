@@ -44,11 +44,12 @@ class TestCli:
                    "-o", str(out)])
         assert rc in (0, 3)  # grid corners support only k=2; 3 = no band
 
-    def test_bad_instance_file(self, tmp_path):
+    def test_bad_instance_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"graph": {"schema": 99}}))
-        with pytest.raises(Exception):
-            main(["solve", str(bad)])
+        rc = main(["solve", str(bad)])  # typed InputError -> exit 2, no traceback
+        assert rc == 2
+        assert "bad instance" in capsys.readouterr().err
 
 
 class TestParallelHarness:

@@ -1,0 +1,170 @@
+"""Untrusted-input fuzzing for :mod:`repro.graph.io`.
+
+Contract: no matter what bytes are on disk, loading raises the typed
+:class:`~repro.errors.InputError` or returns a valid object — never a
+raw ``ValueError``/``KeyError``/NumPy cast error, and never a silently
+corrupted instance (floats truncated to ints, NaN smuggled into weights,
+reordered edge ids).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.graph.generators import gnp_digraph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.graph.weights import uniform_weights
+
+
+def _instance_dict():
+    g = uniform_weights(gnp_digraph(8, 0.4, rng=3), rng=4)
+    return instance_to_dict(g, 0, 7, 2, 50)
+
+
+@pytest.fixture()
+def inst_path(tmp_path):
+    g = uniform_weights(gnp_digraph(8, 0.4, rng=3), rng=4)
+    path = tmp_path / "inst.json"
+    save_instance(path, g, 0, 7, 2, 50)
+    return path
+
+
+def test_truncated_files_raise_input_error(tmp_path, inst_path):
+    raw = inst_path.read_bytes()
+    # Every strict prefix is invalid JSON or an incomplete schema.
+    for frac in (0.0, 0.1, 0.35, 0.6, 0.9, 0.99):
+        cut = int(len(raw) * frac)
+        p = tmp_path / f"trunc{cut}.json"
+        p.write_bytes(raw[:cut])
+        with pytest.raises(InputError):
+            load_instance(p)
+
+
+def test_bit_flipped_files_never_leak_raw_exceptions(tmp_path, inst_path):
+    raw = bytearray(inst_path.read_bytes())
+    rng = np.random.default_rng(2015)
+    for trial in range(200):
+        mutated = bytearray(raw)
+        for pos in rng.integers(0, len(raw), size=rng.integers(1, 4)):
+            mutated[pos] ^= 1 << int(rng.integers(0, 8))
+        p = tmp_path / "flip.json"
+        p.write_bytes(bytes(mutated))
+        try:
+            g, s, t, k, bound = load_instance(p)
+        except InputError:
+            continue  # rejected loudly: the contract
+        # A lucky flip (e.g. one digit of a weight) may still be a valid
+        # instance; it must then be fully validated data.
+        assert 0 <= s < g.n and 0 <= t < g.n and k >= 1 and bound >= 0
+        assert int(g.cost.min()) >= 0 and int(g.delay.min()) >= 0
+
+
+def test_binary_garbage_rejected(tmp_path):
+    p = tmp_path / "noise.json"
+    p.write_bytes(bytes(range(256)) * 8)
+    with pytest.raises(InputError):
+        load_instance(p)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(InputError):
+        load_instance(tmp_path / "absent.json")
+
+
+def test_nan_and_infinity_weights_rejected(tmp_path):
+    # Python's json module happily parses NaN/Infinity literals.
+    d = _instance_dict()
+    text = json.dumps(d).replace(
+        json.dumps(d["graph"]["cost"]),
+        "[NaN" + ", 1" * (len(d["graph"]["cost"]) - 1) + "]",
+    )
+    p = tmp_path / "nan.json"
+    p.write_text(text)
+    with pytest.raises(InputError):
+        load_instance(p)
+
+
+def test_float_weights_rejected_not_truncated():
+    d = _instance_dict()
+    d["graph"]["cost"][0] = 1.9  # np.int64 cast would silently make this 1
+    with pytest.raises(InputError, match="expected an integer"):
+        instance_from_dict(d)
+
+
+def test_bool_weight_rejected():
+    d = _instance_dict()
+    d["graph"]["delay"][0] = True  # bool is an int subclass; still corruption
+    with pytest.raises(InputError):
+        instance_from_dict(d)
+
+
+def test_int64_overflow_rejected():
+    d = _instance_dict()
+    d["graph"]["cost"][0] = 2**63
+    with pytest.raises(InputError, match="overflows int64"):
+        instance_from_dict(d)
+
+
+def test_negative_weight_rejected_for_instances():
+    d = _instance_dict()
+    d["graph"]["cost"][0] = -5
+    with pytest.raises(InputError):
+        instance_from_dict(d)
+    # ...but plain graphs may carry negative weights (residual shipping).
+    gd = d["graph"]
+    assert graph_from_dict(gd).m == len(gd["tail"])
+
+
+def test_out_of_range_endpoint_rejected():
+    d = _instance_dict()
+    d["graph"]["head"][0] = d["graph"]["n"] + 3
+    with pytest.raises(InputError):
+        instance_from_dict(d)
+
+
+def test_terminals_and_query_range_checked():
+    for key, bad in (("s", -1), ("t", 99), ("k", 0), ("delay_bound", -2)):
+        d = _instance_dict()
+        d[key] = bad
+        with pytest.raises(InputError):
+            instance_from_dict(d)
+
+
+def test_duplicate_edge_ids_rejected():
+    d = _instance_dict()["graph"]
+    m = len(d["tail"])
+    d["edge_ids"] = [0] * m
+    with pytest.raises(InputError, match="edge_ids"):
+        graph_from_dict(d)
+
+
+def test_edge_id_permutation_reorders():
+    d = _instance_dict()["graph"]
+    m = len(d["tail"])
+    g0 = graph_from_dict(d)
+    d2 = dict(d)
+    perm = list(reversed(range(m)))
+    d2["edge_ids"] = perm
+    d2["tail"] = list(reversed(d["tail"]))
+    d2["head"] = list(reversed(d["head"]))
+    d2["cost"] = list(reversed(d["cost"]))
+    d2["delay"] = list(reversed(d["delay"]))
+    g1 = graph_from_dict(d2)
+    assert graph_to_dict(g1) == graph_to_dict(g0)
+
+
+def test_wrong_toplevel_shape_rejected():
+    for bad in ([1, 2, 3], "nope", 7, None):
+        with pytest.raises(InputError):
+            instance_from_dict(bad)  # type: ignore[arg-type]
