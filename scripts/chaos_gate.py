@@ -21,9 +21,17 @@ For every instance in a small deterministic chaos corpus this script:
    same paths, cost, delay, status, iteration count, and the same
    ``cancel.iteration`` event trail (modulo the global ``seq`` counter).
 
+6. repeats the campaign **inside an online ``resolve`` replay** (PR 6):
+   a pinned warm re-solve — a delay spike on a solution edge forces real
+   cancellation work — is journaled at ``--checkpoint-every 1``, the
+   ``python -m repro resolve --checkpoint`` subprocess is SIGKILLed past
+   the warm-start prelude, and ``resume_krsp`` must finish the mid-churn
+   solve bit-identically to the uninterrupted golden resolve.
+
 Full mode enforces the acceptance floor: >= 25 kill/cut points per
-corpus instance, at least 5 of them torn mid-record. ``--quick`` runs a
-bounded subset for CI. On any failure the journals are kept and their
+corpus instance, at least 5 of them torn mid-record (the resolve
+kill-point has its own floor: >= 10 points, >= 3 torn). ``--quick`` runs
+a bounded subset for CI. On any failure the journals are kept and their
 location printed; the JSON report (``--report``) is written atomically.
 
 Usage::
@@ -253,6 +261,201 @@ def run_instance(spec: dict, workdir: Path, quick: bool) -> dict:
     }
 
 
+#: Online-resolve kill-point fixture (PR 6). Parameters were searched
+#: for: this substrate's warm re-solve after the pinned delay spike does
+#: one real cancellation iteration (a five-record journal at
+#: ``checkpoint_every=1``) in a few seconds — most spikes either stay
+#: trivially feasible (nothing to kill) or blow up into minute-long
+#: cancellation runs (too slow for a gate).
+RESOLVE_SPEC = {
+    "name": "online_resolve_gnp10", "seed": 3, "n": 10, "p": 0.35,
+    "total": 29, "noise": 3, "k": 2, "slack": 6, "extra": 2,
+}
+
+
+def subprocess_resolve(
+    state_path: Path, delta_path: Path, out_path: Path, journal: Path,
+    env_extra: dict,
+) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(env_extra)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "resolve", str(state_path),
+         "--delta", str(delta_path), "--out", str(out_path),
+         "--checkpoint", str(journal), "--checkpoint-every", "1"],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    return proc.returncode
+
+
+def run_resolve_killpoint(workdir: Path, quick: bool) -> dict:
+    """Kill and truncation points inside a journaled online ``resolve``.
+
+    The golden run is an in-process warm re-solve journaled at
+    ``checkpoint_every=1``; every interrupted copy must resume to the
+    same solution fingerprint and ``cancel.iteration`` trail.
+    """
+    from repro.flow.mincost import min_cost_k_flow
+    from repro.online import (
+        EdgeReweight,
+        InstanceDelta,
+        resolve,
+        save_delta,
+        save_state,
+        start_online,
+    )
+
+    spec = RESOLVE_SPEC
+    name = spec["name"]
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(spec["seed"])
+    g = gnp_digraph(spec["n"], spec["p"], rng=rng)
+    g = anticorrelated_weights(g, total=spec["total"], noise=spec["noise"], rng=rng)
+    s, t, k = 0, spec["n"] - 1, spec["k"]
+    bound = int(min_cost_k_flow(g, s, t, k, weight=g.delay).weight) + spec["slack"]
+
+    state = start_online(g, s, t, k, bound)
+    eid = sorted({e for path in state.solution.paths for e in path})[0]
+    spike = (bound - state.solution.delay) + spec["extra"]
+    delta = InstanceDelta(
+        ops=(EdgeReweight(eid, int(g.cost[eid]), int(g.delay[eid]) + spike),),
+        label=f"{name} delay spike",
+    )
+    state_path = workdir / f"{name}.state.json"
+    delta_path = workdir / f"{name}.delta.json"
+    save_state(state_path, state)
+    save_delta(delta_path, delta)
+
+    # 1. Golden journaled resolve (in-process) + trail capture. The same
+    #    ``state`` object keeps serving: ``save_state`` above snapshotted
+    #    it, so the subprocess replays an identical warm start.
+    golden_journal = workdir / f"{name}.golden.journal"
+    failures: list[str] = []
+    with obs.session(label=f"chaos golden {name}") as tel:
+        golden = resolve(
+            state, delta, journal_path=golden_journal, checkpoint_every=1
+        )
+    golden_fp = fingerprint(golden)
+    golden_trail = trail(tel)
+    if state.last.mode != "warm" or state.last.cycles_cancelled < 1:
+        failures.append(
+            f"{name}: fixture degraded — golden resolve was "
+            f"{state.last.mode}/{state.last.fallback} with "
+            f"{state.last.cycles_cancelled} cancellations (wanted a warm "
+            f"resolve that cancels; the kill would land in dead air)"
+        )
+
+    raw = golden_journal.read_bytes()
+    ends = record_ends(raw)
+    n_rec = len(ends)
+
+    # 2. Subprocess kill campaign: every kill lands past the warm-start
+    #    prelude (record 1), so resume continues a mid-churn solve.
+    if quick:
+        kill_records = [2]
+        kill_bytes = []
+    else:
+        kill_records = sorted({2, 3, n_rec - 1})
+        kill_bytes = [ends[min(2, n_rec - 1)] + 9]
+    sub_kills = []
+    for r in kill_records:
+        j = workdir / f"{name}.killrec{r}.journal"
+        rc = subprocess_resolve(
+            state_path, delta_path, workdir / f"{name}.killrec{r}.state.json",
+            j, {"REPRO_JOURNAL_KILL_AFTER_RECORDS": str(r)},
+        )
+        if rc != -9:
+            failures.append(
+                f"{name}: kill-after-records={r} exited {rc}, expected SIGKILL"
+            )
+            continue
+        resume_and_check(j, golden_fp, golden_trail, failures, f"{name}:killrec{r}")
+        sub_kills.append({"kind": "after_records", "value": r})
+    for b in kill_bytes:
+        j = workdir / f"{name}.killbyte{b}.journal"
+        rc = subprocess_resolve(
+            state_path, delta_path, workdir / f"{name}.killbyte{b}.state.json",
+            j, {"REPRO_JOURNAL_KILL_AT_BYTE": str(b)},
+        )
+        if rc != -9:
+            failures.append(
+                f"{name}: kill-at-byte={b} exited {rc}, expected SIGKILL"
+            )
+            continue
+        resume_and_check(j, golden_fp, golden_trail, failures, f"{name}:killbyte{b}")
+        sub_kills.append({"kind": "at_byte", "value": b, "torn": True})
+
+    # 3. Truncation sweep over the golden resolve journal. Cuts at or
+    #    past the prelude (record 1) must replay the warm start and stay
+    #    fully bit-identical. Cuts that lose the prelude resume as a cold
+    #    solve of the patched instance (the documented crash semantic),
+    #    which on this pinned fixture reaches the same solution by a
+    #    different route — so those compare everything except the
+    #    iteration count and the (warm-only) cancellation trail.
+    warm_cuts = [] if quick else list(ends[1:])
+    torn_cuts = []
+    pre_prelude_cuts = []
+    if not quick:
+        for i in range(2, n_rec):
+            mid = ends[i - 1] + (ends[i] - ends[i - 1]) // 2
+            if ends[i - 1] < mid < ends[i]:
+                torn_cuts.append(mid)
+        pre_prelude_cuts = [ends[0], ends[0] + (ends[1] - ends[0]) // 2]
+    for cut in warm_cuts + torn_cuts:
+        j = workdir / f"{name}.cut{cut}.journal"
+        j.write_bytes(raw[:cut])
+        resume_and_check(j, golden_fp, golden_trail, failures, f"{name}:cut{cut}")
+        if not failures:
+            j.unlink()
+    cold_fp = golden_fp[:4] + golden_fp[5:]  # drop the iteration count
+    for cut in pre_prelude_cuts:
+        j = workdir / f"{name}.coldcut{cut}.journal"
+        j.write_bytes(raw[:cut])
+        try:
+            sol = resume_krsp(j)
+        except Exception as exc:  # noqa: BLE001 — a gate records, never crashes
+            failures.append(
+                f"{name}:coldcut{cut}: resume raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        fp = fingerprint(sol)
+        if fp[:4] + fp[5:] != cold_fp:
+            failures.append(
+                f"{name}:coldcut{cut}: cold-resumed solution differs from "
+                f"golden ({fp} vs {golden_fp})"
+            )
+        elif not failures:
+            j.unlink()
+
+    n_torn = (
+        len(torn_cuts)
+        + sum(1 for kp in sub_kills if kp.get("torn"))
+        + sum(1 for cut in pre_prelude_cuts if cut not in ends)
+    )
+    n_points = (
+        len(warm_cuts) + len(torn_cuts) + len(pre_prelude_cuts) + len(sub_kills)
+    )
+    if not quick:
+        if n_points < 10:
+            failures.append(f"{name}: only {n_points} kill/cut points (< 10 floor)")
+        if n_torn < 3:
+            failures.append(
+                f"{name}: only {n_torn} torn mid-record points (< 3 floor)"
+            )
+
+    return {
+        "instance": name,
+        "records": n_rec,
+        "iterations": golden.iterations,
+        "points": n_points,
+        "torn_points": n_torn,
+        "subprocess_kills": sub_kills,
+        "seconds": round(time.perf_counter() - t0, 3),
+        "failures": failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
@@ -266,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
     workdir = args.keep_dir or Path(tempfile.mkdtemp(prefix="chaos_gate_"))
     workdir.mkdir(parents=True, exist_ok=True)
     results = [run_instance(spec, workdir, args.quick) for spec in CORPUS]
+    results.append(run_resolve_killpoint(workdir, args.quick))
     all_failures = [f for r in results for f in r["failures"]]
 
     report = {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Coverage gate (PR 6): a floor for the online package, drift for the repo.
+
+Runs the tier-1 suite under ``pytest-cov`` and enforces two checks:
+
+* **Online floor** — aggregated line coverage of ``src/repro/online/``
+  must be >= 90%. The online re-solving layer is guarantee-critical (every
+  warm result carries the same registered bound as a cold solve), so its
+  fallback and validation branches must stay exercised.
+* **Repo drift** — total line coverage must not drop more than 2 points
+  below the committed ``COVERAGE_BASELINE.json``. The baseline is
+  self-priming: while its ``total_percent`` is null the drift check is
+  skipped, and ``--update-baseline`` records the measured values.
+
+``pytest-cov`` is a dev-extra dependency (``pip install -e .[dev]``);
+without it the gate degrades to a no-op locally (exit 0 with a notice) so
+offline environments keep working. CI installs the dev extra and passes
+``--strict``, which turns the missing-tool degrade into a failure. The
+XML report (``--xml``) is written for artifact upload either way.
+
+Usage::
+
+    python scripts/coverage_gate.py                    # local, best effort
+    python scripts/coverage_gate.py --strict           # CI
+    python scripts/coverage_gate.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro._util.atomicio import atomic_write_json  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "COVERAGE_BASELINE.json"
+SCHEMA = "coverage-baseline/1"
+ONLINE_FLOOR = 90.0
+DRIFT_POINTS = 2.0
+ONLINE_MARKER = "repro/online/"
+
+
+def run_suite(json_report: Path, xml_report: Path) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", "-x", "-q",
+            "--cov=repro",
+            f"--cov-report=json:{json_report}",
+            f"--cov-report=xml:{xml_report}",
+        ],
+        cwd=REPO_ROOT, env=env,
+    )
+    return proc.returncode
+
+
+def online_percent(data: dict) -> float | None:
+    """Aggregated line coverage over the online package's files."""
+    covered = statements = 0
+    for path, entry in data.get("files", {}).items():
+        if ONLINE_MARKER in path.replace("\\", "/"):
+            summary = entry.get("summary", {})
+            covered += int(summary.get("covered_lines", 0))
+            statements += int(summary.get("num_statements", 0))
+    if statements == 0:
+        return None
+    return 100.0 * covered / statements
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (instead of no-op) when pytest-cov is missing")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                    help="committed baseline JSON")
+    ap.add_argument("--xml", type=Path, default=REPO_ROOT / "coverage.xml",
+                    help="where to write the XML report (CI artifact)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="record the measured percentages as the new baseline")
+    args = ap.parse_args(argv)
+
+    if importlib.util.find_spec("pytest_cov") is None:
+        msg = ("coverage gate: pytest-cov is not installed "
+               "(pip install -e .[dev]); coverage not measured")
+        if args.strict:
+            print(msg, file=sys.stderr)
+            return 1
+        print(f"{msg} — skipping (non-strict mode)")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="coverage_gate_") as tmp:
+        json_report = Path(tmp) / "coverage.json"
+        rc = run_suite(json_report, args.xml)
+        if rc != 0:
+            print(f"coverage gate: test suite failed (exit {rc})",
+                  file=sys.stderr)
+            return rc
+        data = json.loads(json_report.read_text())
+
+    total = float(data["totals"]["percent_covered"])
+    online = online_percent(data)
+    print(f"total coverage  {total:6.2f}%")
+    print(f"online coverage {online:6.2f}% (floor {ONLINE_FLOOR}%)"
+          if online is not None else
+          "online coverage     n/a (no src/repro/online files measured)")
+
+    failures = []
+    if online is None:
+        failures.append(
+            "no coverage recorded for src/repro/online/ — the suite did "
+            "not import the online package"
+        )
+    elif online < ONLINE_FLOOR:
+        failures.append(
+            f"src/repro/online/ coverage {online:.2f}% is below the "
+            f"{ONLINE_FLOOR}% floor"
+        )
+
+    baseline = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+    if not args.update_baseline and baseline is not None:
+        base_total = baseline.get("total_percent")
+        if base_total is None:
+            print("baseline is unprimed (total_percent null) — drift "
+                  "check skipped; run with --update-baseline to prime it")
+        else:
+            drift = total - float(base_total)
+            print(f"drift vs baseline {drift:+.2f} points "
+                  f"(allowed -{DRIFT_POINTS})")
+            if drift < -DRIFT_POINTS:
+                failures.append(
+                    f"total coverage {total:.2f}% regressed "
+                    f"{-drift:.2f} points vs baseline {base_total:.2f}% "
+                    f"(allowed {DRIFT_POINTS})"
+                )
+
+    if args.update_baseline:
+        atomic_write_json(
+            args.baseline,
+            {
+                "schema": SCHEMA,
+                "total_percent": round(total, 2),
+                "online_percent": None if online is None else round(online, 2),
+            },
+            indent=2, sort_keys=True,
+        )
+        print(f"wrote {args.baseline}")
+
+    if failures:
+        print("\nCOVERAGE GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("coverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,10 @@ Commands
     Resume a crashed or interrupted ``solve --checkpoint`` run from its
     write-ahead journal; the finished result is bit-identical to the
     uninterrupted solve (see docs/ROBUSTNESS.md, "Crash safety").
+``resolve``
+    Apply an instance delta (edge drift/removal/addition, demand move) to
+    a persisted online session (``solve --state``) and re-solve, warm when
+    the delta preserves the warm-start preconditions (see docs/ONLINE.md).
 ``experiment``
     Run one experiment from the registry (``f1``, ``f2``, ``e1`` ... ``e9``)
     and print its table.
@@ -130,6 +134,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
               "--deadline (checkpointed solves must be deterministic and "
               "replayable; see docs/ROBUSTNESS.md)", file=sys.stderr)
         return 2
+    if args.state and (eps is not None or args.fallback):
+        print("--state is incompatible with --eps and --fallback (online "
+              "sessions carry the registered (1, 2) guarantee; see "
+              "docs/ONLINE.md)", file=sys.stderr)
+        return 2
     session = (
         obs.session(trace_path=args.trace, label=f"solve {args.instance}")
         if args.trace
@@ -196,6 +205,18 @@ def cmd_solve(args: argparse.Namespace) -> int:
         return 1
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.state:
+        from repro.core.instance import KRSPInstance
+        from repro.online import OnlineState, save_state
+
+        save_state(args.state, OnlineState(
+            instance=KRSPInstance(graph=g, s=s, t=t, k=k, delay_bound=bound),
+            solution=sol,
+            lower_bound=lower_bound,
+            phase1=args.phase1,
+        ))
+        print(f"online session state written to {args.state} "
+              f"(churn it with `repro resolve {args.state} --delta ...`)")
     return _print_solution(
         g, s, t, k, bound, paths=paths, cost=cost, delay=delay,
         feasible=feasible, status=status, cert=cert, detail=detail,
@@ -235,6 +256,85 @@ def cmd_resume(args: argparse.Namespace) -> int:
         feasible=sol.delay_feasible, status=sol.status, cert=sol.certificate,
         detail=f"iterations={sol.iterations} resumed={args.journal}",
         lower_bound=sol.cost_lower_bound, verify=args.verify,
+    )
+
+
+def cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.online import load_delta, load_state
+    from repro.online import resolve as online_resolve
+    from repro.online import save_state
+
+    if args.checkpoint and args.deadline is not None:
+        print("--checkpoint is incompatible with --deadline (checkpointed "
+              "resolves must be deterministic and replayable; see "
+              "docs/ROBUSTNESS.md)", file=sys.stderr)
+        return 2
+    try:
+        state = load_state(args.state)
+        delta = load_delta(args.delta)
+    except InputError as exc:
+        print(f"bad input: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or args.state
+    budget = (
+        SolveBudget(deadline_seconds=args.deadline)
+        if args.deadline is not None
+        else None
+    )
+    session = (
+        obs.session(trace_path=args.trace,
+                    label=f"resolve {args.state} + {args.delta}")
+        if args.trace
+        else contextlib.nullcontext()
+    )
+    try:
+        with session:
+            if args.checkpoint:
+                from repro.robustness import (
+                    DEFAULT_CHECKPOINT_EVERY,
+                    GracefulShutdown,
+                )
+
+                with GracefulShutdown() as shutdown:
+                    sol = online_resolve(
+                        state, delta, budget=budget,
+                        journal_path=args.checkpoint,
+                        checkpoint_every=(args.checkpoint_every
+                                          or DEFAULT_CHECKPOINT_EVERY),
+                        shutdown=shutdown,
+                    )
+            else:
+                sol = online_resolve(state, delta, budget=budget)
+    except SolveInterrupted as exc:
+        # The state file is left untouched: mid-resolve session state is
+        # not a valid snapshot. Finish via `repro resume JOURNAL`, then
+        # re-establish the session with `repro solve --state`.
+        return _report_interrupt(exc)
+    except InputError as exc:
+        print(f"bad delta: {exc}", file=sys.stderr)
+        return 2
+    except InfeasibleInstanceError as exc:
+        save_state(out, state)  # patched-but-unsolved; later deltas may recover
+        print(f"infeasible after delta: {exc}", file=sys.stderr)
+        print(f"session state (no solution) saved to {out}; a later delta "
+              f"may restore feasibility", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    save_state(out, state)
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    info = state.last
+    inst = state.instance
+    fb = f" fallback={info.fallback}" if info.fallback else ""
+    detail = (f"mode={info.mode}{fb} cycles={info.cycles_cancelled} "
+              f"iterations={sol.iterations} state={out}")
+    return _print_solution(
+        inst.graph, inst.s, inst.t, inst.k, inst.delay_bound,
+        paths=sol.paths, cost=sol.cost, delay=sol.delay,
+        feasible=sol.delay_feasible, status=sol.status, cert=sol.certificate,
+        detail=detail, lower_bound=sol.cost_lower_bound, verify=args.verify,
     )
 
 
@@ -458,7 +558,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="full-state snapshot cadence in cancellation "
                               "iterations (default 64; smaller = cheaper "
                               "resume, larger = cheaper solve)")
+    p_solve.add_argument("--state", default=None, metavar="STATE",
+                         help="persist the solved instance + solution as an "
+                              "online session; apply churn deltas to it "
+                              "with `repro resolve` (docs/ONLINE.md)")
     p_solve.set_defaults(func=cmd_solve)
+
+    p_resolve = sub.add_parser(
+        "resolve",
+        help="apply a churn delta to an online session and re-solve warm",
+    )
+    p_resolve.add_argument("state", help="session state from solve --state "
+                                         "or a previous resolve")
+    p_resolve.add_argument("--delta", required=True, metavar="DELTA",
+                           help="instance-delta/1 JSON file (docs/ONLINE.md)")
+    p_resolve.add_argument("--out", default=None, metavar="STATE",
+                           help="write the updated session here instead of "
+                                "overwriting the input state")
+    p_resolve.add_argument("--verify", action="store_true",
+                           help="independently audit the returned solution")
+    p_resolve.add_argument("--deadline", type=float, default=None, metavar="S",
+                           help="wall-clock budget in seconds (anytime "
+                                "semantics as in solve --deadline)")
+    p_resolve.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                           help="record a telemetry trace (includes "
+                                "online.* counters and the resolve event)")
+    p_resolve.add_argument("--checkpoint", default=None, metavar="JOURNAL",
+                           help="write a crash-safe journal for the warm "
+                                "cancellation; `repro resume JOURNAL` "
+                                "finishes a killed resolve bit-identically")
+    p_resolve.add_argument("--checkpoint-every", type=int, default=None,
+                           metavar="N",
+                           help="snapshot cadence in cancellation iterations "
+                                "(default 64)")
+    p_resolve.set_defaults(func=cmd_resolve)
 
     p_resume = sub.add_parser(
         "resume", help="resume a crashed/interrupted checkpointed solve"

@@ -72,6 +72,89 @@ class ResidualGraph:
         obs.add("residual.delta_edges_flipped", len(eids))
         return eids
 
+    def reweight_edges(self, edge_ids, cost, delay) -> np.ndarray:
+        """Set new *original-orientation* weights in place; bump version.
+
+        ``cost``/``delay`` are the new nonnegative input-graph weights,
+        aligned with ``edge_ids``; reversed residual edges store them
+        negated (Definition 6). Edge ids must be unique. Endpoints and
+        therefore CSR indices are untouched, but any cache keyed on the
+        old version (:class:`repro.perf.AuxCache`) must be told via its
+        reweight hook — weight changes are not flips, so the parity-folded
+        flip log cannot express them.
+
+        Returns the touched ids (sorted).
+        """
+        eids = np.asarray(list(edge_ids), dtype=np.int64)
+        if len(eids) == 0:
+            return eids
+        if len(np.unique(eids)) != len(eids):
+            raise GraphError("reweight_edges: duplicate edge ids")
+        if eids.min() < 0 or eids.max() >= self.m:
+            raise GraphError("reweight_edges: edge id out of range")
+        cost = np.asarray(list(cost), dtype=np.int64)
+        delay = np.asarray(list(delay), dtype=np.int64)
+        if not (len(cost) == len(delay) == len(eids)):
+            raise GraphError("reweight_edges: arrays must share one length")
+        if (cost.min() if len(cost) else 0) < 0 or (delay.min() if len(delay) else 0) < 0:
+            raise GraphError("reweight_edges: input weights must be nonnegative")
+        sign = np.where(self.reversed_mask[eids], -1, 1).astype(np.int64)
+        self.graph.cost[eids] = cost * sign
+        self.graph.delay[eids] = delay * sign
+        object.__setattr__(self, "version", self.version + 1)
+        obs.inc("residual.reweights")
+        obs.add("residual.reweight_edges_touched", len(eids))
+        order = np.argsort(eids)
+        return eids[order]
+
+    def remove_edges(self, edge_ids) -> np.ndarray:
+        """Delete edges in place (id-compacting); returns the old->new map.
+
+        Refuses to remove a *reversed* edge: it carries solution flow, and
+        deleting it would silently break the current k-flow — callers must
+        treat that delta as a warm-start precondition failure and re-solve
+        cold instead. The ``reversed_mask`` is compacted alongside the
+        graph arrays so residual edge ``i`` keeps matching original edge
+        ``i`` under the new numbering.
+        """
+        eids = np.unique(np.asarray(list(edge_ids), dtype=np.int64))
+        if len(eids) == 0:
+            return np.arange(self.m, dtype=np.int64)
+        if eids[0] < 0 or eids[-1] >= self.m:
+            raise GraphError("remove_edges: edge id out of range")
+        if bool(self.reversed_mask[eids].any()):
+            raise GraphError(
+                "remove_edges: cannot remove a residual edge carrying solution flow"
+            )
+        id_map = self.graph.remove_edges(eids)
+        object.__setattr__(self, "reversed_mask", self.reversed_mask[id_map >= 0])
+        object.__setattr__(self, "version", self.version + 1)
+        obs.inc("residual.structural_removes")
+        obs.add("residual.structural_edges_removed", len(eids))
+        return id_map
+
+    def add_edges(self, tail, head, cost, delay) -> np.ndarray:
+        """Append forward (non-reversed) edges in place; returns new ids.
+
+        New edges enter with their input-graph orientation and nonnegative
+        weights — an edge can only become reversed by later cancellation
+        flips. Existing edge ids are stable.
+        """
+        cost = np.atleast_1d(np.asarray(cost, dtype=np.int64))
+        delay = np.atleast_1d(np.asarray(delay, dtype=np.int64))
+        if len(cost) and (cost.min() < 0 or delay.min() < 0):
+            raise GraphError("add_edges: input weights must be nonnegative")
+        new_ids = self.graph.add_edges(tail, head, cost, delay)
+        object.__setattr__(
+            self,
+            "reversed_mask",
+            np.concatenate([self.reversed_mask, np.zeros(len(new_ids), dtype=bool)]),
+        )
+        object.__setattr__(self, "version", self.version + 1)
+        obs.inc("residual.structural_adds")
+        obs.add("residual.structural_edges_added", len(new_ids))
+        return new_ids
+
     def to_state(self) -> dict:
         """Serializable snapshot (graph arrays + CSR + mask + version).
 

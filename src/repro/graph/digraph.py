@@ -41,6 +41,10 @@ def encode_array(arr: np.ndarray) -> str:
 
 def decode_array(text: str) -> np.ndarray:
     """Inverse of :func:`encode_array`."""
+    if not isinstance(text, str):
+        raise GraphError(
+            f"corrupt array snapshot: expected string, got {type(text).__name__}"
+        )
     try:
         dtype_str, b64 = text.split(":", 1)
         return np.frombuffer(
@@ -152,7 +156,8 @@ class DiGraph:
     def flip_edges(self, edge_ids: np.ndarray) -> None:
         """Reverse the given edges in place: swap endpoints, negate weights.
 
-        The one sanctioned mutation of a ``DiGraph``. It exists solely as
+        One of the three sanctioned mutations of a ``DiGraph`` (with
+        :meth:`remove_edges` / :meth:`add_edges`). It exists solely as
         the delta-application seam for
         :meth:`repro.core.residual.ResidualGraph.apply_flip` — cancelling a
         cycle flips ``O(cycle length)`` residual edges, and rebuilding the
@@ -182,6 +187,102 @@ class DiGraph:
             self._csr_out = self._patch_csr(self._csr_out, self.tail, eids)
         if self._csr_in is not None:
             self._csr_in = self._patch_csr(self._csr_in, self.head, eids)
+
+    def remove_edges(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Delete edges in place, compacting edge ids; returns the id map.
+
+        Edge ids are renumbered to stay dense: a surviving edge with old id
+        ``e`` becomes ``e - (#removed ids below e)``. The returned int64
+        array has length *old* ``m`` and maps old id -> new id, with ``-1``
+        marking removed edges — callers holding edge-id references (path
+        sets, residual masks) remap through it.
+
+        CSR caches, when built, are patched: surviving entries keep their
+        (key, eid) order and renumbering is monotone in the old ids, so the
+        compacted order array is bit-identical to a from-scratch rebuild.
+        """
+        eids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if len(eids) == 0:
+            return np.arange(self.m, dtype=np.int64)
+        if eids[0] < 0 or eids[-1] >= self.m:
+            raise GraphError("remove_edges: edge id out of range")
+        keep = np.ones(self.m, dtype=bool)
+        keep[eids] = False
+        new_m = int(keep.sum())
+        id_map = np.full(self.m, -1, dtype=np.int64)
+        id_map[keep] = np.arange(new_m, dtype=np.int64)
+        old_csr_out, old_csr_in = self._csr_out, self._csr_in
+        self.tail = self.tail[keep]
+        self.head = self.head[keep]
+        self.cost = self.cost[keep]
+        self.delay = self.delay[keep]
+        self.m = new_m
+
+        def patch(csr, keys):
+            if csr is None:
+                return None
+            _, order = csr
+            new_order = id_map[order[keep[order]]]
+            counts = np.bincount(keys, minlength=self.n)
+            starts = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            return starts, new_order.astype(np.int64, copy=False)
+
+        self._csr_out = patch(old_csr_out, self.tail)
+        self._csr_in = patch(old_csr_in, self.head)
+        return id_map
+
+    def add_edges(
+        self,
+        tail: np.ndarray,
+        head: np.ndarray,
+        cost: np.ndarray,
+        delay: np.ndarray,
+    ) -> np.ndarray:
+        """Append edges in place; returns the new edge ids.
+
+        New edges take ids ``old_m .. old_m + len(tail) - 1`` (existing ids
+        are stable, unlike :meth:`remove_edges`). CSR caches are patched by
+        merging the new ids into each bucket in ascending-id order — the
+        (key, eid) order the stable argsort in :meth:`_build_csr` produces —
+        so patched indices stay bit-identical to a rebuild.
+        """
+        tail = np.atleast_1d(np.asarray(tail, dtype=np.int64))
+        head = np.atleast_1d(np.asarray(head, dtype=np.int64))
+        cost = np.atleast_1d(np.asarray(cost, dtype=np.int64))
+        delay = np.atleast_1d(np.asarray(delay, dtype=np.int64))
+        k = len(tail)
+        if not (len(head) == len(cost) == len(delay) == k):
+            raise GraphError("add_edges: arrays must share one length")
+        if k == 0:
+            return np.zeros(0, dtype=np.int64)
+        if tail.min() < 0 or tail.max() >= self.n or head.min() < 0 or head.max() >= self.n:
+            raise GraphError("add_edges: edge endpoint outside range(n)")
+        old_m = self.m
+        old_csr_out, old_csr_in = self._csr_out, self._csr_in
+        self.tail = np.concatenate([self.tail, tail])
+        self.head = np.concatenate([self.head, head])
+        self.cost = np.concatenate([self.cost, cost])
+        self.delay = np.concatenate([self.delay, delay])
+        self.m = old_m + k
+        new_ids = np.arange(old_m, self.m, dtype=np.int64)
+
+        def patch(csr, keys):
+            if csr is None:
+                return None
+            _, order = csr
+            ins = new_ids[np.argsort(keys[new_ids], kind="stable")]
+            comp_keep = keys[order] * np.int64(self.m + 1) + order
+            comp_ins = keys[ins] * np.int64(self.m + 1) + ins
+            new_order = np.insert(order, np.searchsorted(comp_keep, comp_ins), ins)
+            counts = np.bincount(keys, minlength=self.n)
+            starts = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            return starts, new_order.astype(np.int64, copy=False)
+
+        self._csr_out = patch(old_csr_out, self.tail)
+        self._csr_in = patch(old_csr_in, self.head)
+        return new_ids
 
     def invalidate_csr(self) -> None:
         """Drop cached adjacency indices after an external array mutation.

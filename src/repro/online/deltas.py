@@ -1,0 +1,382 @@
+"""Typed instance deltas: the wire format of online kRSP churn.
+
+A :class:`InstanceDelta` is an ordered list of primitive operations
+against a live instance:
+
+* :class:`EdgeReweight` — cost/delay drift on one edge (new nonnegative
+  original-orientation values);
+* :class:`EdgeRemoval` — delete one edge. Edge ids *compact*: every id
+  above the removed one shifts down by one (see
+  :meth:`repro.graph.digraph.DiGraph.remove_edges`);
+* :class:`EdgeAddition` — append one edge, taking the next free id;
+* :class:`DemandMove` — change any of ``s``, ``t``, ``k``, ``D``.
+
+Each op addresses the instance *as it stands at that point of the list*,
+so an id mentioned after a removal refers to the compacted numbering.
+
+Two consumers share this module and must agree exactly:
+:func:`apply_delta` is the pure from-scratch application (what the
+delta-vs-scratch differential and the MILP referee solve), while
+:meth:`repro.online.engine.resolve` replays the same op stream against
+the warm residual state. JSON round-trips via :func:`delta_to_dict` /
+:func:`delta_from_dict` (``repro resolve --delta FILE``) are validated
+as untrusted input.
+
+:func:`invert_delta` builds the exact inverse for the *churn-identity*
+metamorphic relation. Because removal compacts ids and re-addition
+appends, applying a delta and then its inverse reproduces the original
+instance up to a permutation of edge ids — the edge multiset, and hence
+every solution certificate, is identical (checked by
+:func:`graphs_equivalent`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.graph.digraph import DiGraph
+
+#: Schema tag of the JSON wire format.
+DELTA_SCHEMA = "instance-delta/1"
+
+
+@dataclass(frozen=True)
+class EdgeReweight:
+    """Set edge ``edge_id``'s weights to ``(cost, delay)`` (both >= 0)."""
+
+    edge_id: int
+    cost: int
+    delay: int
+
+
+@dataclass(frozen=True)
+class EdgeRemoval:
+    """Delete edge ``edge_id``; higher ids shift down by one."""
+
+    edge_id: int
+
+
+@dataclass(frozen=True)
+class EdgeAddition:
+    """Append edge ``tail -> head`` with weights ``(cost, delay)``."""
+
+    tail: int
+    head: int
+    cost: int
+    delay: int
+
+
+@dataclass(frozen=True)
+class DemandMove:
+    """Change any subset of the demand ``(s, t, k, D)``; ``None`` = keep."""
+
+    s: int | None = None
+    t: int | None = None
+    k: int | None = None
+    delay_bound: int | None = None
+
+
+DeltaOp = Union[EdgeReweight, EdgeRemoval, EdgeAddition, DemandMove]
+
+
+@dataclass(frozen=True)
+class InstanceDelta:
+    """One churn step: an ordered tuple of primitive ops."""
+
+    ops: tuple[DeltaOp, ...]
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+# -- validation helpers ------------------------------------------------------
+
+
+def _as_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InputError(f"{what} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _as_weight(value: Any, what: str) -> int:
+    v = _as_int(value, what)
+    if v < 0:
+        raise InputError(f"{what} must be nonnegative, got {v}")
+    return v
+
+
+# -- JSON wire format --------------------------------------------------------
+
+
+def op_to_dict(op: DeltaOp) -> dict[str, Any]:
+    if isinstance(op, EdgeReweight):
+        return {"op": "reweight", "edge": op.edge_id, "cost": op.cost, "delay": op.delay}
+    if isinstance(op, EdgeRemoval):
+        return {"op": "remove", "edge": op.edge_id}
+    if isinstance(op, EdgeAddition):
+        return {
+            "op": "add",
+            "tail": op.tail,
+            "head": op.head,
+            "cost": op.cost,
+            "delay": op.delay,
+        }
+    if isinstance(op, DemandMove):
+        out: dict[str, Any] = {"op": "demand"}
+        for key in ("s", "t", "k", "delay_bound"):
+            value = getattr(op, key)
+            if value is not None:
+                out[key] = value
+        return out
+    raise InputError(f"unknown delta op {op!r}")
+
+
+def op_from_dict(data: Any) -> DeltaOp:
+    if not isinstance(data, dict):
+        raise InputError(f"delta op must be an object, got {type(data).__name__}")
+    kind = data.get("op")
+    if kind == "reweight":
+        return EdgeReweight(
+            edge_id=_as_int(data.get("edge"), "reweight edge id"),
+            cost=_as_weight(data.get("cost"), "reweight cost"),
+            delay=_as_weight(data.get("delay"), "reweight delay"),
+        )
+    if kind == "remove":
+        return EdgeRemoval(edge_id=_as_int(data.get("edge"), "remove edge id"))
+    if kind == "add":
+        return EdgeAddition(
+            tail=_as_int(data.get("tail"), "add tail"),
+            head=_as_int(data.get("head"), "add head"),
+            cost=_as_weight(data.get("cost"), "add cost"),
+            delay=_as_weight(data.get("delay"), "add delay"),
+        )
+    if kind == "demand":
+        fields = {}
+        for key in ("s", "t", "k", "delay_bound"):
+            if key in data and data[key] is not None:
+                fields[key] = _as_int(data[key], f"demand {key}")
+        if not fields:
+            raise InputError("demand op changes nothing")
+        return DemandMove(**fields)
+    raise InputError(f"unknown delta op kind {kind!r}")
+
+
+def delta_to_dict(delta: InstanceDelta) -> dict[str, Any]:
+    """Serialize a delta to its ``instance-delta/1`` wire dict."""
+    return {
+        "schema": DELTA_SCHEMA,
+        "label": delta.label,
+        "ops": [op_to_dict(op) for op in delta.ops],
+    }
+
+
+def delta_from_dict(data: Any) -> InstanceDelta:
+    """Parse and validate an ``instance-delta/1`` wire dict (untrusted)."""
+    if not isinstance(data, dict):
+        raise InputError("delta payload must be a JSON object")
+    if data.get("schema") != DELTA_SCHEMA:
+        raise InputError(
+            f"unsupported delta schema {data.get('schema')!r} "
+            f"(expected {DELTA_SCHEMA!r})"
+        )
+    ops = data.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise InputError("delta must carry a non-empty 'ops' list")
+    label = data.get("label", "")
+    if not isinstance(label, str):
+        raise InputError("delta label must be a string")
+    return InstanceDelta(ops=tuple(op_from_dict(o) for o in ops), label=label)
+
+
+def load_delta(path: str | Path) -> InstanceDelta:
+    """Read and validate a delta file (untrusted input)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise InputError(f"cannot read delta file {path}: {exc}") from None
+    return delta_from_dict(data)
+
+
+def save_delta(path: str | Path, delta: InstanceDelta) -> None:
+    """Write a delta to ``path`` in the ``instance-delta/1`` format."""
+    Path(path).write_text(json.dumps(delta_to_dict(delta), indent=2) + "\n")
+
+
+# -- pure application --------------------------------------------------------
+
+
+def apply_delta(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    delta: InstanceDelta,
+) -> tuple[DiGraph, int, int, int, int]:
+    """Apply ``delta`` from scratch; returns the patched instance tuple.
+
+    Pure with respect to its inputs (``g`` is deep-copied first). This is
+    the *reference semantics* of a delta — the online engine's warm path
+    must land on exactly this instance, and the delta-vs-scratch oracle
+    solves precisely this tuple cold.
+    """
+    work = g.copy()
+    for op in delta.ops:
+        if isinstance(op, EdgeReweight):
+            e = _as_int(op.edge_id, "reweight edge id")
+            if not (0 <= e < work.m):
+                raise InputError(f"reweight edge id {e} out of range (m={work.m})")
+            work.cost[e] = _as_weight(op.cost, "reweight cost")
+            work.delay[e] = _as_weight(op.delay, "reweight delay")
+        elif isinstance(op, EdgeRemoval):
+            e = _as_int(op.edge_id, "remove edge id")
+            if not (0 <= e < work.m):
+                raise InputError(f"remove edge id {e} out of range (m={work.m})")
+            work.remove_edges(np.array([e], dtype=np.int64))
+        elif isinstance(op, EdgeAddition):
+            if not (0 <= op.tail < work.n and 0 <= op.head < work.n):
+                raise InputError(
+                    f"add endpoints ({op.tail}, {op.head}) out of range (n={work.n})"
+                )
+            work.add_edges(
+                np.array([op.tail]),
+                np.array([op.head]),
+                np.array([_as_weight(op.cost, "add cost")]),
+                np.array([_as_weight(op.delay, "add delay")]),
+            )
+        elif isinstance(op, DemandMove):
+            if op.s is not None:
+                s = _as_int(op.s, "demand s")
+            if op.t is not None:
+                t = _as_int(op.t, "demand t")
+            if op.k is not None:
+                k = _as_int(op.k, "demand k")
+            if op.delay_bound is not None:
+                delay_bound = _as_int(op.delay_bound, "demand delay_bound")
+        else:
+            raise InputError(f"unknown delta op {op!r}")
+    if not (0 <= s < work.n and 0 <= t < work.n) or s == t:
+        raise InputError(f"demand endpoints invalid after delta: s={s} t={t}")
+    if k < 1 or delay_bound < 0:
+        raise InputError(f"demand invalid after delta: k={k} D={delay_bound}")
+    return work, s, t, k, delay_bound
+
+
+# -- exact inversion (churn-identity) ---------------------------------------
+
+
+def invert_delta(
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    delta: InstanceDelta,
+) -> InstanceDelta:
+    """The exact inverse of ``delta`` against the pre-delta instance.
+
+    ``apply_delta(apply_delta(I, delta), inverse)`` reproduces ``I`` up to
+    an edge-id permutation (removal + re-addition cycles an edge to the
+    end of the id space); the (tail, head, cost, delay) edge multiset and
+    the demand tuple are restored exactly.
+
+    Implemented by double simulation: a forward pass tags every edge with
+    a stable identity and records per-op undo intents against tags, then
+    a backward pass replays the undos on the tag list, materializing each
+    as a concrete op in the id space it will actually execute in.
+    """
+    tags: list[int] = list(range(g.m))
+    info: dict[int, list[int]] = {
+        tag: [int(g.tail[tag]), int(g.head[tag]), int(g.cost[tag]), int(g.delay[tag])]
+        for tag in tags
+    }
+    next_tag = g.m
+    cur = {"s": s, "t": t, "k": k, "delay_bound": delay_bound}
+    undo: list[tuple] = []
+    for op in delta.ops:
+        if isinstance(op, EdgeReweight):
+            if not (0 <= op.edge_id < len(tags)):
+                raise InputError(f"reweight edge id {op.edge_id} out of range")
+            tag = tags[op.edge_id]
+            undo.append(("reweight", tag, info[tag][2], info[tag][3]))
+            info[tag][2] = _as_weight(op.cost, "reweight cost")
+            info[tag][3] = _as_weight(op.delay, "reweight delay")
+        elif isinstance(op, EdgeRemoval):
+            if not (0 <= op.edge_id < len(tags)):
+                raise InputError(f"remove edge id {op.edge_id} out of range")
+            tag = tags.pop(op.edge_id)
+            undo.append(("recreate", tag))
+        elif isinstance(op, EdgeAddition):
+            tag = next_tag
+            next_tag += 1
+            tags.append(tag)
+            info[tag] = [op.tail, op.head, op.cost, op.delay]
+            undo.append(("delete", tag))
+        elif isinstance(op, DemandMove):
+            restore = {
+                key: cur[key]
+                for key in ("s", "t", "k", "delay_bound")
+                if getattr(op, key) is not None
+            }
+            undo.append(("demand", restore))
+            for key in restore:
+                cur[key] = getattr(op, key)
+        else:
+            raise InputError(f"unknown delta op {op!r}")
+    inverse: list[DeltaOp] = []
+    for entry in reversed(undo):
+        kind = entry[0]
+        if kind == "reweight":
+            _, tag, old_cost, old_delay = entry
+            inverse.append(
+                EdgeReweight(edge_id=tags.index(tag), cost=old_cost, delay=old_delay)
+            )
+            info[tag][2] = old_cost
+            info[tag][3] = old_delay
+        elif kind == "recreate":
+            _, tag = entry
+            tail, head, cost_v, delay_v = info[tag]
+            inverse.append(
+                EdgeAddition(tail=tail, head=head, cost=cost_v, delay=delay_v)
+            )
+            tags.append(tag)
+        elif kind == "delete":
+            _, tag = entry
+            inverse.append(EdgeRemoval(edge_id=tags.index(tag)))
+            tags.remove(tag)
+        else:
+            _, restore = entry
+            inverse.append(DemandMove(**restore))
+    label = f"inverse({delta.label})" if delta.label else "inverse"
+    return InstanceDelta(ops=tuple(inverse), label=label)
+
+
+def graphs_equivalent(a: DiGraph, b: DiGraph) -> bool:
+    """Equality up to an edge-id permutation (the churn-identity notion).
+
+    Two graphs with the same vertex set and the same multiset of
+    ``(tail, head, cost, delay)`` tuples induce the same kRSP polytope —
+    every path set of one maps to a path set of the other with identical
+    cost/delay, so all optima and certificates coincide.
+    """
+    if a.n != b.n or a.m != b.m:
+        return False
+    def key(g: DiGraph) -> np.ndarray:
+        return np.lexsort((g.delay, g.cost, g.head, g.tail))
+    ka, kb = key(a), key(b)
+    return all(
+        bool(np.array_equal(arr_a[ka], arr_b[kb]))
+        for arr_a, arr_b in (
+            (a.tail, b.tail),
+            (a.head, b.head),
+            (a.cost, b.cost),
+            (a.delay, b.delay),
+        )
+    )

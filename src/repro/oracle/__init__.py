@@ -25,6 +25,16 @@ Typical entry points::
     assert report.clean
 """
 
+from repro.oracle.churn import (
+    CHURN_SCHEMA,
+    ChurnTrace,
+    churn_trace_from_dict,
+    churn_trace_to_dict,
+    generate_churn_trace,
+    load_trace,
+    replay_instances,
+    save_trace,
+)
 from repro.oracle.corpus import (
     CorpusEntry,
     entry_from_dict,
@@ -32,7 +42,13 @@ from repro.oracle.corpus import (
     load_corpus,
     save_entry,
 )
-from repro.oracle.differential import DiffReport, Failure, run_differential
+from repro.oracle.differential import (
+    DiffReport,
+    Failure,
+    OnlineDiffReport,
+    run_differential,
+    run_online_differential,
+)
 from repro.oracle.faults import (
     FAULT_KINDS,
     FaultPlan,
@@ -63,6 +79,8 @@ from repro.oracle.metamorphic import TRANSFORMS, Metamorphosis, apply_transform
 from repro.oracle.shrinker import ShrinkResult, shrink
 
 __all__ = [
+    "CHURN_SCHEMA",
+    "ChurnTrace",
     "CorpusEntry",
     "DiffReport",
     "FAULT_KINDS",
@@ -74,24 +92,32 @@ __all__ = [
     "FuzzReport",
     "InjectedFault",
     "Metamorphosis",
+    "OnlineDiffReport",
     "MUTATIONS",
     "OracleInstance",
     "SUBSTRATES",
     "ShrinkResult",
     "TRANSFORMS",
     "apply_transform",
+    "churn_trace_from_dict",
+    "churn_trace_to_dict",
     "entry_from_dict",
     "entry_to_dict",
     "fault_plan_from_dict",
     "fault_spec_from_dict",
+    "generate_churn_trace",
     "instance_stream",
     "load_corpus",
+    "load_trace",
     "make_base_instance",
     "oracle_instance_from_dict",
     "oracle_instance_to_dict",
+    "replay_instances",
     "run_differential",
+    "run_online_differential",
     "run_fuzz",
     "save_entry",
+    "save_trace",
     "shrink",
     "write_report",
 ]

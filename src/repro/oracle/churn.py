@@ -1,0 +1,358 @@
+"""Seeded churn-trace generation for the online re-solving layer.
+
+A *churn trace* is a base kRSP instance plus an ordered sequence of
+:class:`~repro.online.deltas.InstanceDelta` batches — the oracle-side twin
+of a production edge-churn feed. Traces are pure functions of the seed, so
+a red differential run replays forever, and they are biased toward staying
+feasible: the generator simulates every candidate op on a private mirror
+and rewrites ops that would disconnect the demand (a removal that kills the
+last ``k``-th disjoint path becomes a cost drift; a delay-bound jitter never
+drops below the minimum achievable total delay) unless ``keep_feasible`` is
+switched off. Terminal/k moves are the most disruptive churn class — every
+one forces a cold fallback — so they stay behind ``allow_terminal_moves``.
+
+Wire format (``churn-trace/1``)::
+
+    {"schema": "churn-trace/1", "label": ..., "seed": ...,
+     "instance": <oracle-instance dict>, "deltas": [<instance-delta/1>, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro._util.atomicio import atomic_write_json
+from repro._util.rng import as_rng
+from repro.errors import InputError
+from repro.flow.mincost import min_cost_k_flow
+from repro.graph.digraph import DiGraph
+from repro.online.deltas import (
+    DeltaOp,
+    DemandMove,
+    EdgeAddition,
+    EdgeRemoval,
+    EdgeReweight,
+    InstanceDelta,
+    apply_delta,
+    delta_from_dict,
+    delta_to_dict,
+)
+from repro.oracle.instances import (
+    OracleInstance,
+    oracle_instance_from_dict,
+    oracle_instance_to_dict,
+)
+
+CHURN_SCHEMA = "churn-trace/1"
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """One base instance plus an ordered delta sequence.
+
+    ``instance`` is the state *before* ``deltas[0]``; each delta addresses
+    the edge-id space produced by its predecessors (the
+    :func:`~repro.online.deltas.apply_delta` convention).
+    """
+
+    instance: OracleInstance
+    deltas: tuple[InstanceDelta, ...]
+    label: str = ""
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+
+def replay_instances(
+    trace: ChurnTrace,
+) -> Iterator[tuple[int, InstanceDelta, DiGraph, int, int, int, int]]:
+    """Yield ``(step, delta, g, s, t, k, D)`` for each post-delta state.
+
+    The scratch-solve side of the churn differential: state ``i`` is the
+    base instance with ``deltas[: i + 1]`` applied.
+    """
+    inst = trace.instance
+    g, s, t, k, delay_bound = (
+        inst.graph,
+        inst.s,
+        inst.t,
+        inst.k,
+        inst.delay_bound,
+    )
+    for step, delta in enumerate(trace.deltas):
+        g, s, t, k, delay_bound = apply_delta(g, s, t, k, delay_bound, delta)
+        yield step, delta, g, s, t, k, delay_bound
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+
+def _feasible(g: DiGraph, s: int, t: int, k: int, delay_bound: int) -> bool:
+    flow = min_cost_k_flow(g, s, t, k, weight=g.delay)
+    return flow is not None and int(flow.weight) <= delay_bound
+
+
+def _jitter(gen: np.random.Generator, value: int, scale: int) -> int:
+    """``value`` drifted by up to ±``scale`` (clamped nonnegative)."""
+    return max(0, value + int(gen.integers(-scale, scale + 1)))
+
+
+def _draw_reweight(
+    gen: np.random.Generator, g: DiGraph
+) -> EdgeReweight | None:
+    if g.m == 0:
+        return None
+    eid = int(gen.integers(g.m))
+    scale_c = max(1, int(g.cost.max()) // 3)
+    scale_d = max(1, int(g.delay.max()) // 3)
+    return EdgeReweight(
+        edge_id=eid,
+        cost=_jitter(gen, int(g.cost[eid]), scale_c),
+        delay=_jitter(gen, int(g.delay[eid]), scale_d),
+    )
+
+
+def _draw_addition(gen: np.random.Generator, g: DiGraph) -> EdgeAddition | None:
+    if g.n < 2:
+        return None
+    tail = int(gen.integers(g.n))
+    head = int(gen.integers(g.n))
+    if tail == head:
+        head = (head + 1) % g.n
+    hi_c = max(2, int(g.cost.max()) + 1) if g.m else 10
+    hi_d = max(2, int(g.delay.max()) + 1) if g.m else 10
+    return EdgeAddition(
+        tail=tail,
+        head=head,
+        cost=int(gen.integers(hi_c)),
+        delay=int(gen.integers(hi_d)),
+    )
+
+
+def _draw_demand_move(
+    gen: np.random.Generator,
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    *,
+    keep_feasible: bool,
+    allow_terminal_moves: bool,
+) -> DemandMove | None:
+    if allow_terminal_moves and gen.random() < 0.3:
+        # The disruptive class: move a terminal or resize the demand.
+        if gen.random() < 0.5 and g.n > 2:
+            new_t = int(gen.integers(g.n))
+            if new_t == s:
+                new_t = (new_t + 1) % g.n
+            move = DemandMove(t=new_t)
+            if not keep_feasible or _feasible(g, s, new_t, k, delay_bound):
+                return move
+            return None
+        new_k = k + (1 if gen.random() < 0.5 else -1)
+        if new_k < 1:
+            new_k = k + 1
+        move = DemandMove(k=new_k)
+        if not keep_feasible or _feasible(g, s, t, new_k, delay_bound):
+            return move
+        return None
+    # Default demand churn: jitter the delay budget.
+    scale = max(1, delay_bound // 4)
+    new_bound = _jitter(gen, delay_bound, scale)
+    if keep_feasible:
+        flow = min_cost_k_flow(g, s, t, k, weight=g.delay)
+        if flow is None:
+            return None
+        new_bound = max(new_bound, int(flow.weight))
+    if new_bound == delay_bound:
+        return None
+    return DemandMove(delay_bound=new_bound)
+
+
+def _draw_op(
+    gen: np.random.Generator,
+    g: DiGraph,
+    s: int,
+    t: int,
+    k: int,
+    delay_bound: int,
+    *,
+    keep_feasible: bool,
+    allow_terminal_moves: bool,
+) -> DeltaOp | None:
+    roll = float(gen.random())
+    if roll < 0.45:
+        op: DeltaOp | None = _draw_reweight(gen, g)
+    elif roll < 0.65:
+        op = _draw_addition(gen, g)
+    elif roll < 0.85:
+        if g.m <= k:
+            op = _draw_reweight(gen, g)
+        else:
+            op = EdgeRemoval(edge_id=int(gen.integers(g.m)))
+    else:
+        return _draw_demand_move(
+            gen,
+            g,
+            s,
+            t,
+            k,
+            delay_bound,
+            keep_feasible=keep_feasible,
+            allow_terminal_moves=allow_terminal_moves,
+        )
+    if op is None:
+        return None
+    if keep_feasible:
+        g2, s2, t2, k2, d2 = apply_delta(
+            g, s, t, k, delay_bound, InstanceDelta(ops=(op,))
+        )
+        if not _feasible(g2, s2, t2, k2, d2):
+            if isinstance(op, EdgeRemoval):
+                # Keep the churn pressure but not the disconnection: the
+                # doomed edge gets a cost spike instead of deletion. The
+                # spike leaves delays alone, so it is only emitted when the
+                # current state is itself feasible (boundary-infeasible
+                # bases must not leak "feasibility-preserving" ops).
+                eid = op.edge_id
+                spike = EdgeReweight(
+                    edge_id=eid,
+                    cost=int(g.cost[eid]) + max(1, int(g.cost.max())),
+                    delay=int(g.delay[eid]),
+                )
+                return spike if _feasible(g, s, t, k, delay_bound) else None
+            if isinstance(op, EdgeReweight):
+                # Delay drift broke the budget; keep the cost drift only.
+                fallback = EdgeReweight(
+                    edge_id=op.edge_id,
+                    cost=op.cost,
+                    delay=int(g.delay[op.edge_id]),
+                )
+                g2, s2, t2, k2, d2 = apply_delta(
+                    g, s, t, k, delay_bound, InstanceDelta(ops=(fallback,))
+                )
+                return fallback if _feasible(g2, s2, t2, k2, d2) else None
+            return None
+    return op
+
+
+def generate_churn_trace(
+    inst: OracleInstance,
+    steps: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+    max_ops_per_delta: int = 3,
+    keep_feasible: bool = True,
+    allow_terminal_moves: bool = False,
+) -> ChurnTrace:
+    """A seeded delta sequence over ``inst``.
+
+    Each of the ``steps`` deltas batches 1..``max_ops_per_delta`` ops drawn
+    from the churn mix (~45% weight drift, ~20% addition, ~20% removal,
+    ~15% demand move). With ``keep_feasible`` (the default) every emitted
+    delta provably preserves feasibility — infeasible-by-construction
+    traces (for exercising the infeasible->recover cycle) come from
+    switching it off.
+    """
+    if steps < 0:
+        raise InputError("steps must be nonnegative")
+    if max_ops_per_delta < 1:
+        raise InputError("max_ops_per_delta must be positive")
+    gen = as_rng(rng)
+    seed = int(rng) if isinstance(rng, (int, np.integer)) else 0
+    g, s, t, k, delay_bound = (
+        inst.graph,
+        inst.s,
+        inst.t,
+        inst.k,
+        inst.delay_bound,
+    )
+    deltas: list[InstanceDelta] = []
+    for step in range(steps):
+        ops: list[DeltaOp] = []
+        for _ in range(int(gen.integers(1, max_ops_per_delta + 1))):
+            op = _draw_op(
+                gen,
+                g,
+                s,
+                t,
+                k,
+                delay_bound,
+                keep_feasible=keep_feasible,
+                allow_terminal_moves=allow_terminal_moves,
+            )
+            if op is None:
+                continue
+            g, s, t, k, delay_bound = apply_delta(
+                g, s, t, k, delay_bound, InstanceDelta(ops=(op,))
+            )
+            ops.append(op)
+        if ops:
+            deltas.append(
+                InstanceDelta(ops=tuple(ops), label=f"{inst.label}@step{step}")
+            )
+    return ChurnTrace(
+        instance=inst,
+        deltas=tuple(deltas),
+        label=inst.label or "churn",
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def churn_trace_to_dict(trace: ChurnTrace) -> dict:
+    """JSON-ready form of ``trace`` (schema ``churn-trace/1``)."""
+    return {
+        "schema": CHURN_SCHEMA,
+        "label": trace.label,
+        "seed": int(trace.seed),
+        "instance": oracle_instance_to_dict(trace.instance),
+        "deltas": [delta_to_dict(d) for d in trace.deltas],
+    }
+
+
+def churn_trace_from_dict(data: dict) -> ChurnTrace:
+    """Inverse of :func:`churn_trace_to_dict`; :class:`InputError` on junk."""
+    if not isinstance(data, dict):
+        raise InputError("churn trace payload must be an object")
+    if data.get("schema") != CHURN_SCHEMA:
+        raise InputError(
+            f"unsupported churn trace schema {data.get('schema')!r} "
+            f"(expected {CHURN_SCHEMA!r})"
+        )
+    try:
+        instance = oracle_instance_from_dict(data["instance"])
+        deltas = tuple(delta_from_dict(d) for d in data["deltas"])
+        label = str(data.get("label", ""))
+        seed = int(data.get("seed", 0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InputError(f"malformed churn trace payload: {exc}") from exc
+    return ChurnTrace(instance=instance, deltas=deltas, label=label, seed=seed)
+
+
+def save_trace(path: str | Path, trace: ChurnTrace) -> None:
+    """Atomically write ``trace`` as JSON."""
+    atomic_write_json(Path(path), churn_trace_to_dict(trace), indent=2)
+
+
+def load_trace(path: str | Path) -> ChurnTrace:
+    """Load a trace written by :func:`save_trace`."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise InputError(f"cannot read churn trace {path}: {exc}") from exc
+    return churn_trace_from_dict(data)

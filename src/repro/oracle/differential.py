@@ -317,3 +317,207 @@ def run_differential(
             )
 
     return report
+
+
+# ---------------------------------------------------------------------------
+# Online churn differential
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OnlineDiffReport(DiffReport):
+    """A :class:`DiffReport` over a whole churn trace.
+
+    ``instance`` is the trace's base instance; ``final_instance`` the state
+    after the last delta (what ``delta_vs_scratch`` hands to the MILP) and
+    ``final_solution`` the warm session's result on it (``None`` when the
+    final state was infeasible).
+    """
+
+    final_instance: OracleInstance | None = None
+    final_solution: object | None = None
+    steps_checked: int = 0
+
+
+def run_online_differential(
+    trace,
+    *,
+    milp_time_limit: float | None = 30.0,
+    exact_every: int = 1,
+) -> OnlineDiffReport:
+    """Replay a churn trace warm and from scratch; fail on any divergence.
+
+    Per delta the trace's instance is advanced two independent ways —
+    :func:`repro.online.resolve` on a live session (warm when the delta
+    allows it) and :func:`repro.online.deltas.apply_delta` on a scratch
+    copy — and the checks are:
+
+    * **instance sync** — the session's patched instance must be
+      array-identical to the scratch one (the delta-vs-scratch contract);
+    * **feasibility agreement** — resolve, a scratch
+      :func:`repro.core.solve_krsp`, and the exact MILP must agree on
+      solvability;
+    * **guarantee** — both path sets are independently re-audited and held
+      to ``delay <= D`` and ``cost <= 2 * OPT`` (Lemma 3; warm results
+      carry the same registered guarantee as cold ones).
+
+    ``exact_every`` thins the MILP (the expensive side) to every Nth step;
+    audit and sync checks still run on every step.
+    """
+    import numpy as np
+
+    from repro.core.instance import KRSPInstance
+    from repro.errors import InfeasibleInstanceError as _Infeasible
+    from repro.online import OnlineState, resolve
+    from repro.oracle.churn import replay_instances
+
+    base = trace.instance
+    report = OnlineDiffReport(instance=base)
+    report.solvers_run = ["online_resolve", "solve_krsp", "milp"]
+
+    state = OnlineState(
+        instance=KRSPInstance(
+            graph=base.graph.copy(),
+            s=base.s,
+            t=base.t,
+            k=base.k,
+            delay_bound=base.delay_bound,
+        ),
+        solution=None,
+        lower_bound=None,
+    )
+    for step, delta, g, s, t, k, bound in replay_instances(trace):
+        label = f"{trace.label or 'churn'}#{step}"
+        report.steps_checked += 1
+        step_inst = OracleInstance(
+            graph=g, s=s, t=t, k=k, delay_bound=bound, label=label,
+            substrate=base.substrate, seed=base.seed,
+        )
+        report.final_instance = step_inst
+
+        online_sol = None
+        try:
+            online_sol = resolve(state, delta)
+        except _Infeasible:
+            pass
+        except ReproError as exc:
+            report.failures.append(
+                Failure(
+                    "crash", "online_resolve",
+                    f"{label}: {type(exc).__name__}: {exc}",
+                )
+            )
+            return report
+        report.final_solution = online_sol
+
+        sg = state.instance.graph
+        synced = (
+            (state.instance.s, state.instance.t, state.instance.k,
+             state.instance.delay_bound) == (s, t, k, bound)
+            and sg.n == g.n
+            and np.array_equal(sg.tail, g.tail)
+            and np.array_equal(sg.head, g.head)
+            and np.array_equal(sg.cost, g.cost)
+            and np.array_equal(sg.delay, g.delay)
+        )
+        if not synced:
+            report.failures.append(
+                Failure(
+                    "invariant", "online_resolve",
+                    f"{label}: session instance diverged from apply_delta "
+                    f"(delta-vs-scratch sync contract)",
+                )
+            )
+            return report
+
+        scratch_sol = None
+        try:
+            scratch_sol = solve_krsp(g, s, t, k, bound)
+        except InfeasibleInstanceError:
+            pass
+        except ReproError as exc:
+            report.failures.append(
+                Failure(
+                    "crash", "solve_krsp",
+                    f"{label}: {type(exc).__name__}: {exc}",
+                )
+            )
+            return report
+
+        if (online_sol is None) != (scratch_sol is None):
+            o = "infeasible" if online_sol is None else f"cost {online_sol.cost}"
+            c = "infeasible" if scratch_sol is None else f"cost {scratch_sol.cost}"
+            report.failures.append(
+                Failure(
+                    "feasibility", "online_resolve",
+                    f"{label}: warm resolve says {o} but scratch solve says {c}",
+                )
+            )
+            continue
+
+        exact: ExactSolution | None | str = "skipped"
+        if step % max(1, exact_every) == 0:
+            try:
+                exact = solve_krsp_milp(
+                    g, s, t, k, bound, time_limit=milp_time_limit
+                )
+            except ReproError as exc:
+                report.failures.append(
+                    Failure("crash", "milp", f"{label}: {type(exc).__name__}: {exc}")
+                )
+                return report
+            report.opt_cost = None if exact is None else exact.cost
+            if (exact is None) != (online_sol is None):
+                o = "infeasible" if online_sol is None else f"cost {online_sol.cost}"
+                e = "infeasible" if exact is None else f"optimum {exact.cost}"
+                report.failures.append(
+                    Failure(
+                        "feasibility", "online_resolve",
+                        f"{label}: warm resolve says {o} but the exact "
+                        f"oracle says {e}",
+                    )
+                )
+                continue
+
+        for solver, sol in (
+            ("online_resolve", online_sol),
+            ("solve_krsp", scratch_sol),
+        ):
+            if sol is None:
+                continue
+            totals = _audit_paths(
+                step_inst, solver, sol.paths, sol.cost, sol.delay,
+                report.failures, require_budget=(sol.status == "ok"),
+            )
+            if totals is None or not isinstance(exact, ExactSolution):
+                continue
+            cost, delay = totals
+            if sol.status == "ok" and cost > 2 * exact.cost:
+                report.failures.append(
+                    Failure(
+                        "bifactor", solver,
+                        f"{label}: cost {cost} exceeds 2 * OPT = "
+                        f"{2 * exact.cost} (Lemma 3)",
+                    )
+                )
+            if delay <= bound and cost < exact.cost:
+                report.failures.append(
+                    Failure(
+                        "beats_optimum", solver,
+                        f"{label}: feasible cost {cost} beats the proven "
+                        f"optimum {exact.cost}",
+                    )
+                )
+            if (
+                sol.cost_lower_bound is not None
+                and float(sol.cost_lower_bound) > exact.cost + 1e-9
+            ):
+                report.failures.append(
+                    Failure(
+                        "invariant", solver,
+                        f"{label}: certified lower bound "
+                        f"{float(sol.cost_lower_bound):.6f} exceeds the "
+                        f"true optimum {exact.cost}",
+                    )
+                )
+    return report

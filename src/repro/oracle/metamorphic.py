@@ -23,6 +23,12 @@ tighten_budget       ``D' < D``; if feasible', then feasible and
 swap_cost_delay      dual instance with budget = ``opt``; feasible and
                      ``opt' <=`` the primal optimal solution's delay
 add_junk             unreachable component appended; ``opt' == opt``
+churn_identity       random instance delta + its exact inverse; the
+                     round-trip instance has ``opt' == opt``
+delta_vs_scratch     short feasibility-preserving churn replayed warm
+                     (:func:`repro.online.resolve`) vs from scratch; the
+                     warm result must verify and 2-approximate the
+                     churned instance's exact optimum
 ==================  =====================================================
 """
 
@@ -236,6 +242,155 @@ def _add_junk(inst: OracleInstance, gen: np.random.Generator, base) -> Metamorph
     return Metamorphosis(name, inst.derive(graph=g2, transform=name), check)
 
 
+def _churn_identity(
+    inst: OracleInstance, gen: np.random.Generator, base
+) -> Metamorphosis | None:
+    """Churn round-trip: a random delta composed with its exact inverse.
+
+    The resulting instance is the original up to an edge-id permutation
+    (:func:`repro.online.deltas.invert_delta` is a certified inverse), so
+    feasibility and the exact optimum must be unchanged — this is the
+    relation that locks down the delta apply/invert machinery the online
+    layer is built on. Any structural drift detected while building the
+    round-trip is reported through ``check`` as well, so a broken inverse
+    fails the run even before the MILP sides are compared.
+    """
+    from repro.online.deltas import (
+        DemandMove,
+        EdgeAddition,
+        EdgeRemoval,
+        EdgeReweight,
+        InstanceDelta,
+        apply_delta,
+        graphs_equivalent,
+        invert_delta,
+    )
+
+    g, s, t, k, bound = inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+    if g.n < 2 or g.m < 2:
+        return None
+    name = "churn_identity"
+    hi_c = max(2, int(g.cost.max()) + 1)
+    hi_d = max(2, int(g.delay.max()) + 1)
+    ops = []
+    cur_m = g.m
+    for _ in range(int(gen.integers(2, 5))):
+        roll = float(gen.random())
+        if roll < 0.40 and cur_m:
+            ops.append(
+                EdgeReweight(
+                    int(gen.integers(cur_m)),
+                    int(gen.integers(hi_c)),
+                    int(gen.integers(hi_d)),
+                )
+            )
+        elif roll < 0.60 and cur_m > 1:
+            ops.append(EdgeRemoval(int(gen.integers(cur_m))))
+            cur_m -= 1
+        elif roll < 0.85:
+            tail = int(gen.integers(g.n))
+            head = int(gen.integers(g.n))
+            if tail == head:
+                head = (head + 1) % g.n
+            ops.append(
+                EdgeAddition(
+                    tail, head, int(gen.integers(hi_c)), int(gen.integers(hi_d))
+                )
+            )
+            cur_m += 1
+        else:
+            ops.append(DemandMove(delay_bound=bound + int(gen.integers(1, 10))))
+    delta = InstanceDelta(ops=tuple(ops), label=name)
+    g1, s1, t1, k1, d1 = apply_delta(g, s, t, k, bound, delta)
+    inverse = invert_delta(g, s, t, k, bound, delta)
+    g2, s2, t2, k2, d2 = apply_delta(g1, s1, t1, k1, d1, inverse)
+
+    structural: list[str] = []
+    if not graphs_equivalent(g2, g):
+        structural.append(
+            f"{name}: delta + inverse did not restore the graph "
+            f"(m {g.m} -> {g2.m})"
+        )
+    if (s2, t2, k2, d2) != (s, t, k, bound):
+        structural.append(
+            f"{name}: delta + inverse did not restore the demand "
+            f"({s, t, k, bound} -> {s2, t2, k2, d2})"
+        )
+
+    def check(b, tr):
+        issues = list(structural)
+        issues.extend(_feasibility_must_match(name, b, tr))
+        if b is not None and tr is not None and tr.cost != b.cost:
+            issues.append(
+                f"{name}: churn round-trip changed the optimum "
+                f"{b.cost} -> {tr.cost}"
+            )
+        return issues
+
+    return Metamorphosis(
+        name,
+        inst.derive(graph=g2, s=s2, t=t2, k=k2, delay_bound=d2, transform=name),
+        check,
+    )
+
+
+def _delta_vs_scratch(
+    inst: OracleInstance, gen: np.random.Generator, base
+) -> Metamorphosis | None:
+    """Warm resolve vs scratch solve on one churned instance.
+
+    Draws a short feasibility-preserving churn prefix, replays it through
+    an online session (:func:`repro.online.resolve`), and emits the final
+    churned instance as the transformed side — whose exact optimum the
+    warm path's result must 2-approximate. The warm-vs-scratch agreement
+    itself (instance sync, guarantee, feasibility) is asserted eagerly via
+    :func:`repro.oracle.differential.run_online_differential`; any failure
+    there surfaces through ``check`` alongside the MILP relation.
+    """
+    from repro.oracle.churn import generate_churn_trace
+    from repro.oracle.differential import run_online_differential
+
+    if inst.graph.n < 2 or inst.graph.m < 2:
+        return None
+    name = "delta_vs_scratch"
+    trace = generate_churn_trace(
+        inst, int(gen.integers(1, 4)), rng=int(gen.integers(1 << 31))
+    )
+    if not trace.deltas:
+        return None
+    diff = run_online_differential(trace)
+    online_failures = [f"{name}: [{f.kind}/{f.solver}] {f.message}" for f in diff.failures]
+    final = diff.final_instance if diff.final_instance is not None else inst
+    warm = diff.final_solution
+
+    def check(b, tr):
+        issues = list(online_failures)
+        # Churn kept the instance feasible by construction; the exact
+        # oracle on the churned side must agree.
+        if tr is None:
+            issues.append(
+                f"{name}: feasibility-preserving churn produced an "
+                f"exactly-infeasible instance"
+            )
+        elif warm is not None:
+            # The registered guarantee against the churned optimum: the
+            # warm resolve is feasible (so OPT' cannot exceed it) and
+            # 2-approximate (Lemma 3), exactly like a cold solve.
+            if tr.cost > warm.cost:
+                issues.append(
+                    f"{name}: churned optimum {tr.cost} exceeds the warm "
+                    f"resolve's verified cost {warm.cost}"
+                )
+            if warm.status == "ok" and warm.cost > 2 * tr.cost:
+                issues.append(
+                    f"{name}: warm resolve cost {warm.cost} breaks the "
+                    f"2-approximation against churned optimum {tr.cost}"
+                )
+        return issues
+
+    return Metamorphosis(name, final.derive(transform=name), check)
+
+
 TRANSFORMS: dict[
     str,
     Callable[
@@ -251,6 +406,8 @@ TRANSFORMS: dict[
     "tighten_budget": _tighten_budget,
     "swap_cost_delay": _swap_cost_delay,
     "add_junk": _add_junk,
+    "churn_identity": _churn_identity,
+    "delta_vs_scratch": _delta_vs_scratch,
 }
 """Name -> transform factory. Factories may return ``None`` when the
 transform does not apply (e.g. the dual needs a feasible base)."""

@@ -132,6 +132,65 @@ class AuxCache:
             flipped_eids, dtype=np.int64
         )
 
+    def note_reweight(self, eids: np.ndarray) -> None:
+        """Absorb an in-place reweight that already bumped the version.
+
+        Reweights are *not* flips: they are not involutions, so they must
+        never enter the parity-folded flip log (a later flip of the same
+        edge would cancel the parity and leave stale magnitudes behind).
+        Instead every cached level is reconciled eagerly, right now:
+
+        * a level whose layer-window layout changed (``|c|`` drifted on
+          some edge) is dropped — its skeleton can no longer describe the
+          current residual, not even as a growth source;
+        * a level with an intact layout is parity-patched over the flips
+          it missed *plus* the reweighted edges, bringing it fully to the
+          current version.
+
+        The reweight's version increment deliberately stays absent from
+        the flip log; the resulting gap only ever forces a rebuild for an
+        entry older than this call, and none survive it.
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        for B in list(self._entries):
+            entry = self._entries[B]
+            if not np.array_equal(
+                layer_window_counts(self._res.graph.cost, B), entry.counts
+            ):
+                del self._entries[B]
+                if B in self._lru:
+                    self._lru.remove(B)
+                obs.inc("search.aux_cache.reweight_drop")
+                continue
+            # Flips the entry missed, *excluding* the reweight bump itself
+            # (it has no flip-log entry — see above).
+            dirty = self._parity_between(entry.version, self._res.version - 1)
+            if dirty is None:
+                del self._entries[B]
+                if B in self._lru:
+                    self._lru.remove(B)
+                obs.inc("search.aux_cache.reweight_drop")
+                continue
+            self._patch(entry, np.union1d(dirty, eids))
+            obs.inc("search.aux_cache.reweight_patch")
+        obs.gauge("search.aux_cache.bytes", float(self.total_bytes()))
+
+    def note_structural_change(self) -> None:
+        """Forget everything after an edge removal/addition on the residual.
+
+        Structural deltas renumber or grow the edge id space: segment
+        skeletons, the flip log's id references, and every parity array
+        length become meaningless. The next :meth:`get` rebuilds from
+        scratch (and subsequent radii grow from it as usual).
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._lru.clear()
+        self._flips.clear()
+        if dropped:
+            obs.add("search.aux_cache.structural_drop", dropped)
+        obs.gauge("search.aux_cache.bytes", 0.0)
+
     def total_bytes(self) -> int:
         return sum(e.nbytes for e in self._entries.values())
 
@@ -150,8 +209,12 @@ class AuxCache:
     def _parity_since(self, version: int) -> np.ndarray | None:
         """Edges whose state differs between ``version`` and now, or
         ``None`` when the flip log has a gap (forces a full rebuild)."""
+        return self._parity_between(version, self._res.version)
+
+    def _parity_between(self, v0: int, v1: int) -> np.ndarray | None:
+        """Parity-folded flips over versions ``[v0, v1)``; ``None`` on a gap."""
         parity = np.zeros(self._res.m, dtype=bool)
-        for v in range(version, self._res.version):
+        for v in range(v0, v1):
             flips = self._flips.get(v)
             if flips is None:
                 return None

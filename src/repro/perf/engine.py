@@ -108,6 +108,58 @@ class IncrementalSearch:
         self._cache = AuxCache(residual, max_bytes=self._max_cache_bytes)
         self._tracker = None
 
+    def apply_reweight(self, edge_ids, cost, delay) -> np.ndarray:
+        """Drift edge weights in place (online churn seam); returns ids.
+
+        ``cost``/``delay`` are new original-orientation values aligned with
+        ``edge_ids``; the residual stores them sign-adjusted and bumps its
+        version, and the aux cache reconciles eagerly (reweights cannot ride
+        the parity-folded flip log — see :meth:`AuxCache.note_reweight`).
+        The anchor tracker is dropped: reweights are an online-resolve
+        operation and resume/online paths run the production finder only.
+        """
+        if self._residual is None:
+            raise GraphError("apply_reweight: engine has no residual yet")
+        eids = self._residual.reweight_edges(edge_ids, cost, delay)
+        assert self._cache is not None
+        self._cache.note_reweight(eids)
+        self._tracker = None
+        return eids
+
+    def remove_edges(self, edge_ids) -> np.ndarray:
+        """Delete edges from the residual (online churn seam); returns map.
+
+        Refuses edges carrying solution flow (see
+        :meth:`ResidualGraph.remove_edges`); the old->new id map is what
+        callers use to renumber their path sets. Edge ids shift, so the
+        cached solution set is recomputed from the compacted mask and the
+        aux cache and flip log are discarded wholesale.
+        """
+        if self._residual is None:
+            raise GraphError("remove_edges: engine has no residual yet")
+        id_map = self._residual.remove_edges(edge_ids)
+        self._rebind_structural()
+        return id_map
+
+    def add_edges(self, tail, head, cost, delay) -> np.ndarray:
+        """Append forward edges to the residual (online churn seam)."""
+        if self._residual is None:
+            raise GraphError("add_edges: engine has no residual yet")
+        new_ids = self._residual.add_edges(tail, head, cost, delay)
+        self._rebind_structural()
+        return new_ids
+
+    def _rebind_structural(self) -> None:
+        """Re-derive engine state after a structural residual mutation."""
+        assert self._residual is not None
+        self._solution = frozenset(
+            int(e) for e in np.nonzero(self._residual.reversed_mask)[0]
+        )
+        if self._cache is not None:
+            self._cache.note_structural_change()
+        self._cache = AuxCache(self._residual, max_bytes=self._max_cache_bytes)
+        self._tracker = None
+
     def aux_provider(self, residual_graph: DiGraph, B: int) -> AuxGraph:
         """Drop-in for ``build_aux_shifted`` backed by the keyed cache.
 

@@ -25,6 +25,7 @@ PUBLIC_PACKAGES = [
     "repro.oracle",
     "repro.obs",
     "repro.robustness",
+    "repro.online",
 ]
 
 
@@ -45,7 +46,7 @@ def test_all_public_names_documented(mod_name):
     "fname",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
      "docs/API.md", "docs/TESTING.md", "docs/OBSERVABILITY.md",
-     "docs/ROBUSTNESS.md"],
+     "docs/ROBUSTNESS.md", "docs/ONLINE.md"],
 )
 def test_top_level_documents_exist(fname):
     path = ROOT / fname

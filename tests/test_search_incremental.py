@@ -485,3 +485,240 @@ class TestTransformCopyOnWrite:
         # Tiny thetas: neither criterion is scaled, so both arrays share.
         assert np.shares_memory(scaled.instance.graph.cost, g.cost)
         assert np.shares_memory(scaled.instance.graph.delay, g.delay)
+
+
+# ---------------------------------------------------------------------------
+# structural churn seams (online re-solving, PR 6)
+# ---------------------------------------------------------------------------
+
+
+class TestStructuralChurn:
+    """Edge removal/addition/reweight across the graph -> residual ->
+    aux-cache -> engine stack: every mutated structure must be
+    bit-identical to a from-scratch rebuild, the third sanctioned
+    mutation path besides flips and weight scaling."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_remove_edges_csr_and_idmap_match_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        m = int(rng.integers(2, 30))
+        g = DiGraph(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(-5, 9, size=m),
+            rng.integers(-5, 9, size=m),
+        )
+        g.out_edges(0)
+        g.in_edges(0)
+        doomed = sorted(
+            int(e)
+            for e in rng.choice(m, size=int(rng.integers(1, m)), replace=False)
+        )
+        id_map = g.remove_edges(doomed)
+        # id-map semantics: -1 for removed, dense renumbering otherwise.
+        removed = np.zeros(m, dtype=bool)
+        removed[doomed] = True
+        expect = np.where(removed, -1, np.cumsum(~removed) - 1)
+        assert np.array_equal(id_map, expect)
+        assert g.m == m - len(doomed)
+        fresh = DiGraph(
+            g.n, g.tail.copy(), g.head.copy(), g.cost.copy(), g.delay.copy()
+        )
+        for v in range(n):
+            assert np.array_equal(g.out_edges(v), fresh.out_edges(v)), v
+            assert np.array_equal(g.in_edges(v), fresh.in_edges(v)), v
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_add_edges_csr_matches_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        m = int(rng.integers(1, 25))
+        g = DiGraph(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.integers(-5, 9, size=m),
+            rng.integers(-5, 9, size=m),
+        )
+        g.out_edges(0)
+        g.in_edges(0)
+        extra = int(rng.integers(1, 6))
+        new_ids = g.add_edges(
+            rng.integers(0, n, size=extra),
+            rng.integers(0, n, size=extra),
+            rng.integers(0, 9, size=extra),
+            rng.integers(0, 9, size=extra),
+        )
+        assert list(new_ids) == list(range(m, m + extra))
+        fresh = DiGraph(
+            g.n, g.tail.copy(), g.head.copy(), g.cost.copy(), g.delay.copy()
+        )
+        for v in range(n):
+            assert np.array_equal(g.out_edges(v), fresh.out_edges(v)), v
+            assert np.array_equal(g.in_edges(v), fresh.in_edges(v)), v
+
+    def test_remove_edges_rejects_bad_ids(self):
+        g = DiGraph(2, [0], [1], [3], [4])
+        with pytest.raises(GraphError):
+            g.remove_edges([1])
+        # Duplicates collapse (np.unique); empty removal is the identity.
+        g2 = DiGraph(3, [0, 1], [1, 2], [3, 4], [5, 6])
+        assert list(g2.remove_edges([0, 0])) == [-1, 0]
+        assert list(g2.remove_edges([])) == [0]
+
+    def test_residual_remove_refuses_flow_edges(self):
+        rng = np.random.default_rng(13)
+        full = _random_residual_full(rng)
+        base, rev, res = full
+        if not rev:
+            rev = [0]
+            res = build_residual(base, rev)
+        with pytest.raises(GraphError):
+            res.remove_edges([rev[0]])
+        idle = [e for e in range(base.m) if e not in set(rev)]
+        if idle:
+            doomed = idle[0]
+            id_map = res.remove_edges([doomed])
+            new_rev = sorted(int(id_map[e]) for e in rev)
+            fresh = build_residual(
+                DiGraph(
+                    base.n,
+                    np.delete(base.tail, doomed),
+                    np.delete(base.head, doomed),
+                    np.delete(base.cost, doomed),
+                    np.delete(base.delay, doomed),
+                ),
+                new_rev,
+            )
+            assert np.array_equal(res.reversed_mask, fresh.reversed_mask)
+            for arr in ("tail", "head", "cost", "delay"):
+                assert np.array_equal(
+                    getattr(res.graph, arr), getattr(fresh.graph, arr)
+                ), arr
+
+    def test_residual_reweight_signs_and_version(self):
+        g = DiGraph(3, [0, 1, 0], [1, 2, 2], [2, 3, 4], [5, 6, 7])
+        res = build_residual(g, [1])  # edge 1 reversed
+        v0 = res.version
+        touched = res.reweight_edges([0, 1], [10, 20], [30, 40])
+        assert list(touched) == [0, 1]
+        assert res.version == v0 + 1
+        assert res.graph.cost[0] == 10 and res.graph.delay[0] == 30
+        # Reversed edge stores negated weights (Definition 6).
+        assert res.graph.cost[1] == -20 and res.graph.delay[1] == -40
+        with pytest.raises(GraphError):
+            res.reweight_edges([0], [-1], [0])
+
+    def test_residual_add_edges_extends_mask(self):
+        g = DiGraph(3, [0, 1], [1, 2], [2, 3], [5, 6])
+        res = build_residual(g, [0])
+        new_ids = res.add_edges([0], [2], [9], [9])
+        assert list(new_ids) == [2]
+        assert res.m == 3
+        assert not res.reversed_mask[2]
+        fresh = build_residual(
+            DiGraph(3, [0, 1, 0], [1, 2, 2], [2, 3, 9], [5, 6, 9]), [0]
+        )
+        for arr in ("tail", "head", "cost", "delay"):
+            assert np.array_equal(
+                getattr(res.graph, arr), getattr(fresh.graph, arr)
+            ), arr
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_auxcache_reweight_serves_fresh_builds(self, seed):
+        rng = np.random.default_rng(seed)
+        res = _random_residual(rng)
+        if res is None or res.graph.m < 2:
+            return
+        cache = AuxCache(res)
+        for B in (1, 2, 4):
+            cache.get(B)
+        m = res.graph.m
+        eids = sorted(
+            int(e)
+            for e in rng.choice(m, size=int(rng.integers(1, m + 1)), replace=False)
+        )
+        touched = res.reweight_edges(
+            eids, rng.integers(0, 9, size=len(eids)), rng.integers(0, 9, size=len(eids))
+        )
+        cache.note_reweight(touched)
+        for B in (1, 2, 4):
+            _assert_aux_equal(cache.get(B), build_aux_shifted(res.graph, B))
+
+    def test_auxcache_reweight_counters(self):
+        res = build_residual(DiGraph(3, [0, 1, 0], [1, 2, 2], [1, 1, 2], [1, 1, 1]), [])
+        with obs.session():
+            cache = AuxCache(res)
+            cache.get(2)
+            # Same |cost| layout: parity patch.
+            touched = res.reweight_edges([0], [1], [5])
+            cache.note_reweight(touched)
+            # Layout change on some level: drop.
+            touched = res.reweight_edges([0], [7], [5])
+            cache.note_reweight(touched)
+            snap = obs.snapshot()
+        assert snap.get("search.aux_cache.reweight_patch", 0) >= 1
+        assert snap.get("search.aux_cache.reweight_drop", 0) >= 1
+        _assert_aux_equal(cache.get(2), build_aux_shifted(res.graph, 2))
+
+    def test_auxcache_structural_change_clears(self):
+        rng = np.random.default_rng(9)
+        res = _random_residual(rng)
+        with obs.session():
+            cache = AuxCache(res)
+            cache.get(2)
+            cache.note_structural_change()
+            cache.get(2)
+            snap = obs.snapshot()
+        assert snap.get("search.aux_cache.structural_drop", 0) == 1
+        assert snap["search.aux_cache.miss"] == 2
+        _assert_aux_equal(cache.get(2), build_aux_shifted(res.graph, 2))
+
+    def test_engine_structural_roundtrip_matches_scratch(self):
+        """reweight -> remove -> add through IncrementalSearch equals a
+        from-scratch residual of the mutated graph."""
+        g = anticorrelated_weights(gnp_digraph(10, 0.4, rng=5), rng=6)
+        engine = IncrementalSearch(g)
+        sol = [0, 2, 4]
+        engine.residual_for(sol)
+        engine.apply_reweight([0, 1], [3, 4], [5, 6])
+        idle = next(e for e in range(g.m) if e not in sol and e > 4)
+        id_map = engine.remove_edges([idle])
+        engine.add_edges([0], [g.n - 1], [2], [2])
+        res = engine.residual
+        base = res.graph
+        new_sol = sorted(int(id_map[e]) for e in sol)
+        fresh = build_residual(
+            DiGraph(
+                base.n,
+                np.where(res.reversed_mask, base.head, base.tail),
+                np.where(res.reversed_mask, base.tail, base.head),
+                np.abs(base.cost),
+                np.abs(base.delay),
+            ),
+            new_sol,
+        )
+        assert np.array_equal(res.reversed_mask, fresh.reversed_mask)
+        for arr in ("tail", "head", "cost", "delay"):
+            assert np.array_equal(
+                getattr(res.graph, arr), getattr(fresh.graph, arr)
+            ), arr
+        # The aux provider serves the mutated residual bit-identically.
+        _assert_aux_equal(
+            engine.aux_provider(res.graph, 2), build_aux_shifted(res.graph, 2)
+        )
+
+    def test_engine_structural_ops_require_residual(self):
+        g = DiGraph(2, [0], [1], [1], [1])
+        engine = IncrementalSearch(g)
+        with pytest.raises(GraphError):
+            engine.apply_reweight([0], [1], [1])
+        with pytest.raises(GraphError):
+            engine.remove_edges([0])
+        with pytest.raises(GraphError):
+            engine.add_edges([0], [1], [1], [1])
