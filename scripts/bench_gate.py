@@ -9,6 +9,10 @@ deterministic telemetry-counter snapshot of each, and enforces two gates:
 * **Regression gate** — any pinned kernel more than ``--tolerance`` (15%
   default) slower than the committed ``BENCH_PR4.json`` baseline fails the
   run. Skipped under ``--quick`` (CI hardware is not the baseline's).
+  Failures carry a counter-drift attribution block (via
+  :mod:`repro.obs.diff`): the kernels are deterministic, so moved counters
+  name the behavioural cause, while identical counters point at the
+  machine.
 * **Speedup gate** — the incremental search engine (:mod:`repro.perf`)
   must beat the from-scratch path on the search-layer kernels by the pinned
   floors: >= 2x on the E6-scale residual+aux layer, >= 1.5x at E10 stress
@@ -48,6 +52,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro._util.atomicio import atomic_write_json  # noqa: E402
+from repro.obs.diff import format_drift_block, rank_counter_drift  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_PR4.json"
 ONLINE_OUT = REPO_ROOT / "BENCH_PR6.json"
@@ -380,6 +385,23 @@ def measure_online_resolve(repeats: int) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _attribution(base_counters, counters) -> str:
+    """Counter-drift attribution block for a regression failure.
+
+    The kernels are deterministic, so a wall-clock regression with moved
+    counters names its own cause ("lp.pivots grew 40%"); identical counters
+    mean the machine, not the code, changed. Rendered via the same
+    :func:`repro.obs.diff.format_drift_block` that ``repro trace --diff``
+    uses.
+    """
+    if not base_counters:
+        return "\n      (no baseline counters to attribute against)"
+    drifts = rank_counter_drift(base_counters, counters)
+    lines = ["    counter drift (baseline -> current), by contribution:"]
+    lines += format_drift_block(drifts, top=8, indent="      ")
+    return "\n" + "\n".join(lines)
+
+
 def run_gate(args) -> int:
     global _E6_FIXTURE
     _E6_FIXTURE = _delay_infeasible_start(n=10, seed=6100)
@@ -411,6 +433,10 @@ def run_gate(args) -> int:
                     failures.append(
                         f"{name}: {median:.4f}s is {rel:.1%} over baseline "
                         f"{base:.4f}s (tolerance {args.tolerance:.0%})"
+                        + _attribution(
+                            baseline["kernels"].get(name, {}).get("counters"),
+                            counters,
+                        )
                     )
         print(line)
 
@@ -445,6 +471,10 @@ def run_gate(args) -> int:
                     f"e10_online_resolve: warm replay {online['warm_median_s']:.4f}s "
                     f"is {rel:.1%} over baseline {base_warm:.4f}s "
                     f"(tolerance {args.tolerance:.0%})"
+                    + _attribution(
+                        base.get("online", {}).get("counters"),
+                        online["counters"],
+                    )
                 )
     online_report = {
         "schema": ONLINE_SCHEMA,

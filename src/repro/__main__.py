@@ -1,5 +1,19 @@
 """Entry point for ``python -m repro``."""
 
+import os
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+    # Flush explicitly so a closed pipe surfaces here, not in the
+    # interpreter's exit-time flush (which prints an unkillable warning).
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``| head``) closed the pipe: the POSIX
+    # convention is to die silently with SIGPIPE's exit status.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    code = 141
+raise SystemExit(code)

@@ -27,9 +27,16 @@ Commands
     any reproducer, and emit a JSON report for CI.
 ``trace``
     Render (or ``--validate``) a JSONL telemetry trace written by
-    ``solve --trace`` / ``fuzz --trace``: phase-time breakdown, hot-span
-    tree, counters, and the per-iteration cancellation table. See
+    ``solve --trace`` / ``sweep --trace`` / ``fuzz --trace``: phase-time
+    breakdown, hot-span tree, latency quantiles, counters, and the
+    per-iteration cancellation table. ``--flamegraph OUT`` folds the span
+    tree into collapsed-stack format; ``--diff A B`` compares two traces
+    with counter drift ranked by contribution. See
     ``docs/OBSERVABILITY.md``.
+``metrics``
+    ``serve`` runs a Prometheus ``/metrics`` aggregator that solves and
+    sweeps publish to via ``--metrics-port``; ``check`` validates a
+    scraped exposition page as text-format 0.0.4.
 
 Examples
 --------
@@ -41,6 +48,11 @@ Examples
     python -m repro solve inst.json --trace out.jsonl
     python -m repro trace out.jsonl
     python -m repro trace out.jsonl --validate
+    python -m repro trace out.jsonl --flamegraph out.collapsed
+    python -m repro trace --diff a.jsonl b.jsonl
+    python -m repro metrics serve --port 9109 &
+    python -m repro solve inst.json --metrics-port 9109
+    python -m repro metrics check http://127.0.0.1:9109/metrics
     python -m repro experiment e1
     python -m repro fuzz --budget 30 --seed 0 --report fuzz.json
 """
@@ -71,6 +83,34 @@ from repro.robustness import SolveBudget
 
 def _load_instance(path: str):
     return load_instance(path)
+
+
+@contextlib.contextmanager
+def _telemetry(trace_path, metrics_port, label):
+    """Session + optional `/metrics` attachment for one CLI command.
+
+    Yields the live :class:`repro.obs.Telemetry` (or ``None`` when neither
+    ``--trace`` nor ``--metrics-port`` was given). With a metrics port the
+    session is published to the shared endpoint on that port — reusing an
+    aggregator already listening there (``repro metrics serve``), else
+    starting an in-process one for the duration of the command.
+    """
+    if not trace_path and not metrics_port:
+        yield None
+        return
+    with obs.session(trace_path=trace_path, label=label) as tel:
+        publisher = server = None
+        if metrics_port:
+            from repro.obs.server import attach_metrics
+
+            publisher, server = attach_metrics(metrics_port, tel, label)
+        try:
+            yield tel
+        finally:
+            if publisher is not None:
+                publisher.close()
+            if server is not None:
+                server.close()
 
 
 def _print_solution(
@@ -139,10 +179,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
               "sessions carry the registered (1, 2) guarantee; see "
               "docs/ONLINE.md)", file=sys.stderr)
         return 2
-    session = (
-        obs.session(trace_path=args.trace, label=f"solve {args.instance}")
-        if args.trace
-        else contextlib.nullcontext()
+    session = _telemetry(
+        args.trace, args.metrics_port, f"solve {args.instance}"
     )
     try:
         with session:
@@ -369,18 +407,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("--resume requires --jsonl PATH (the file to resume from)",
               file=sys.stderr)
         return 2
+    session = _telemetry(
+        args.trace, args.metrics_port, f"sweep {args.family} seed={args.seed}"
+    )
     try:
-        if args.parallel and args.jsonl:
-            from repro.robustness import GracefulShutdown
+        with session:
+            if args.parallel and args.jsonl:
+                from repro.robustness import GracefulShutdown
 
-            with GracefulShutdown() as shutdown:
-                records = run_sweep(
-                    sweep, parallel=True,
-                    jsonl_path=args.jsonl, resume=args.resume,
-                    shutdown=shutdown,
-                )
-        else:
-            records = run_sweep(sweep, parallel=args.parallel)
+                with GracefulShutdown() as shutdown:
+                    records = run_sweep(
+                        sweep, parallel=True,
+                        jsonl_path=args.jsonl, resume=args.resume,
+                        shutdown=shutdown,
+                    )
+            else:
+                records = run_sweep(sweep, parallel=args.parallel)
     except SolveInterrupted as exc:
         print(f"interrupted by signal {exc.signum}; completed trials are "
               f"durable in {exc.checkpoint_path}", file=sys.stderr)
@@ -390,6 +432,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace:
+        print(f"trace written to {args.trace}")
     print(
         pivot(
             records,
@@ -462,8 +506,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         replay_corpus=not args.no_replay,
         shrink_failures=not args.no_shrink,
     )
+    # Label the trace header with the run's inputs (mirroring `solve
+    # --trace`) so diff/flamegraph reports can name what they compare.
     session = (
-        obs.session(trace_path=args.trace, label="fuzz")
+        obs.session(
+            trace_path=args.trace,
+            label=f"fuzz seed={args.seed} budget={args.budget:g}s",
+        )
         if args.trace
         else contextlib.nullcontext()
     )
@@ -495,15 +544,60 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.report import load_trace, render_report, report_json, validate_trace
+def _load_trace_or_complain(path: str):
+    """Load a trace for the CLI; returns ``None`` after printing the
+    diagnosis (exit-2 discipline: garbage input is the caller's problem,
+    reported in one line, never a traceback)."""
+    from repro.obs.report import load_trace
 
     try:
-        trace = load_trace(args.trace_file)
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot load trace {args.trace_file!r}: {exc}",
+        return load_trace(path)
+    except (OSError, ValueError, InputError) as exc:
+        print(f"error: cannot load trace {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report, report_json, validate_trace
+
+    if args.diff:
+        if args.trace_file:
+            print("error: --diff A B takes its two traces as option "
+                  "arguments; drop the positional trace file",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.diff import diff_json, diff_traces, render_diff
+
+        a = _load_trace_or_complain(args.diff[0])
+        b = _load_trace_or_complain(args.diff[1])
+        if a is None or b is None:
+            return 2
+        d = diff_traces(a, b)
+        if args.json:
+            print(json.dumps(diff_json(d), indent=2, sort_keys=True))
+        else:
+            print(render_diff(d, top=args.top))
+        return 0
+    if not args.trace_file:
+        print("error: a trace file is required (or use --diff A B)",
               file=sys.stderr)
         return 2
+    trace = _load_trace_or_complain(args.trace_file)
+    if trace is None:
+        return 2
+    if args.flamegraph:
+        from repro.obs.flamegraph import fold_trace
+
+        folded = fold_trace(trace)
+        Path(args.flamegraph).write_text(folded.text())
+        capped = (f" (capped {folded.capped_ns}ns of rounding jitter)"
+                  if folded.capped_ns else "")
+        print(f"wrote {args.flamegraph}: {len(folded.lines)} stacks from "
+              f"{folded.span_count} spans, {folded.total_ns}ns self time "
+              f"== {folded.root_total_ns}ns root time{capped}")
+        print("render: flamegraph.pl {0} > out.svg, or load {0} in "
+              "speedscope".format(args.flamegraph))
+        return 0
     if args.validate:
         problems = validate_trace(trace)
         if problems:
@@ -520,6 +614,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(json.dumps(report_json(trace, top=args.top), indent=2, sort_keys=True))
     else:
         print(render_report(trace, top=args.top))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if args.metrics_command == "serve":
+        return _metrics_serve(args)
+    return _metrics_check(args)
+
+
+def _metrics_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.server import MetricsServer
+
+    try:
+        srv = MetricsServer(args.port, host=args.host)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"metrics aggregator on {srv.url}/metrics (push endpoint "
+          f"{srv.url}/push, health {srv.url}/healthz)")
+    print("attach solves with: repro solve INST --metrics-port "
+          f"{args.port}")
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        srv.close()
+    return 0
+
+
+def _metrics_check(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs.promtext import parse_prometheus
+
+    source = args.source
+    try:
+        if source.startswith(("http://", "https://")):
+            with urlopen(source, timeout=5.0) as resp:
+                text = resp.read().decode("utf-8")
+        else:
+            text = Path(source).read_text()
+    except (OSError, URLError, UnicodeDecodeError) as exc:
+        print(f"error: cannot read {source!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        families = parse_prometheus(text)
+    except InputError as exc:
+        print(f"INVALID exposition format: {exc}", file=sys.stderr)
+        return 1
+    by_type: dict[str, int] = {}
+    for fam in families.values():
+        by_type[fam.type] = by_type.get(fam.type, 0) + 1
+    kinds = ", ".join(f"{v} {k}" for k, v in sorted(by_type.items()))
+    print(f"valid text-format 0.0.4: {len(families)} metric families "
+          f"({kinds}) from {source}")
     return 0
 
 
@@ -562,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the solved instance + solution as an "
                               "online session; apply churn deltas to it "
                               "with `repro resolve` (docs/ONLINE.md)")
+    p_solve.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                         help="publish live telemetry to a /metrics endpoint "
+                              "on this localhost port (joins a running "
+                              "`repro metrics serve` aggregator, else serves "
+                              "in-process for the duration of the solve)")
     p_solve.set_defaults(func=cmd_solve)
 
     p_resolve = sub.add_parser(
@@ -620,6 +783,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--resume", action="store_true",
                          help="with --jsonl: skip trials that already have "
                               "a durable record (continue a killed sweep)")
+    p_sweep.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                         help="record a telemetry trace of the whole sweep "
+                              "to this JSONL file")
+    p_sweep.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                         help="publish live sweep telemetry to a /metrics "
+                              "endpoint on this localhost port (see "
+                              "`repro metrics serve`)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
@@ -666,18 +836,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_trace = sub.add_parser(
-        "trace", help="render or validate a JSONL telemetry trace"
+        "trace", help="render, validate, diff, or export a telemetry trace"
     )
-    p_trace.add_argument("trace_file", help="trace JSONL path "
-                                            "(from solve/fuzz --trace)")
+    p_trace.add_argument("trace_file", nargs="?", default=None,
+                         help="trace JSONL path (from solve/sweep/fuzz "
+                              "--trace); omitted with --diff")
     p_trace.add_argument("--validate", action="store_true",
                          help="schema-validate instead of rendering; exit 1 "
                               "on any problem")
     p_trace.add_argument("--json", action="store_true",
-                         help="emit the machine-readable report JSON")
+                         help="emit the machine-readable report (or --diff) "
+                              "JSON")
     p_trace.add_argument("--top", type=int, default=10,
-                         help="rows in the hot-span tree (default 10)")
+                         help="rows in the hot-span tree / diff tables "
+                              "(default 10)")
+    p_trace.add_argument("--diff", nargs=2, default=None,
+                         metavar=("A.JSONL", "B.JSONL"),
+                         help="compare two traces: counter drift ranked by "
+                              "contribution, phase-share shift, wall clock")
+    p_trace.add_argument("--flamegraph", default=None, metavar="OUT.COLLAPSED",
+                         help="fold the span tree into collapsed-stack "
+                              "format (flamegraph.pl / speedscope input)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="Prometheus endpoint: serve an aggregator or "
+                        "validate exposition output"
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command",
+                                           required=True)
+    p_mserve = metrics_sub.add_parser(
+        "serve", help="run a /metrics aggregator that solves push to"
+    )
+    p_mserve.add_argument("--port", type=int, required=True,
+                          help="TCP port to listen on")
+    p_mserve.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    p_mserve.add_argument("--for-seconds", type=float, default=None,
+                          metavar="S",
+                          help="exit after S seconds (default: run until "
+                               "interrupted)")
+    p_mserve.set_defaults(func=cmd_metrics)
+    p_mcheck = metrics_sub.add_parser(
+        "check", help="validate a /metrics page (file or http URL) as "
+                      "text-format 0.0.4"
+    )
+    p_mcheck.add_argument("source", help="path to a scraped exposition file, "
+                                         "or an http(s)://.../metrics URL")
+    p_mcheck.set_defaults(func=cmd_metrics)
     return parser
 
 

@@ -14,6 +14,7 @@ certified cost lower bound, and full per-iteration instrumentation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -207,12 +208,17 @@ def solve_krsp(
         # Nest a per-solve session under whatever is tracing (CLI trace,
         # fuzz run, eval harness) so each solution carries its own counter
         # snapshot while outer sessions still see the aggregate.
+        start = time.perf_counter()
         with obs.session(label="solve_krsp") as tel:
             sol = _solve_krsp_impl(
                 g, s, t, k, delay_bound, phase1, eps, b_max,
                 max_iterations, opt_cost, strict_monitor, finder, meter,
                 incremental, checkpoint_hook,
             )
+        # End-to-end solve latency, observed into every enclosing session's
+        # "krsp.solve" histogram (the nested per-solve session just closed,
+        # so only aggregating outer sessions record it).
+        obs.observe("krsp.solve", time.perf_counter() - start)
         sol.counters = dict(tel.counters)
         return sol
     return _solve_krsp_impl(

@@ -8,10 +8,18 @@ layer, and LPs are instrumented with:
 * **counters/gauges** (:mod:`repro.obs.counters`) — deterministic work
   measures (Dijkstra pops, Bellman–Ford rounds, bicameral cycles,
   cancellation iterations, LP solves/pivots, residual rebuilds);
+* **histograms** (:mod:`repro.obs.hist`) — fixed log-bucket latency
+  histograms per span name (mergeable across sessions and processes;
+  p50/p90/p99 in ``repro trace``);
 * **events** (:mod:`repro.obs.events`) — a structured per-iteration audit
   trail of the cancellation loop;
 * **reports** (:mod:`repro.obs.report`) — phase tables, hot-span trees,
-  JSON output, and trace-schema validation behind ``repro trace``.
+  JSON output, and trace-schema validation behind ``repro trace``;
+* **export** (:mod:`repro.obs.promtext`, :mod:`repro.obs.server`,
+  :mod:`repro.obs.flamegraph`, :mod:`repro.obs.diff`) — Prometheus
+  text-format exposition with a push-aggregating ``/metrics`` server
+  (``repro metrics serve``), collapsed-stack flamegraph export, and
+  counter-drift trace diffing (``repro trace --diff``).
 
 Nothing records until a session is opened, so instrumentation is free in
 production paths::
@@ -38,6 +46,7 @@ from repro.obs import _state
 from repro.obs._state import TRACE_SCHEMA, Telemetry
 from repro.obs.counters import add, gauge, inc, snapshot
 from repro.obs.events import emit, events
+from repro.obs.hist import BUCKET_BOUNDS, Histogram, observe
 from repro.obs.spans import SpanRecord, current_span_id, span
 
 
@@ -85,6 +94,9 @@ __all__ = [
     "inc",
     "gauge",
     "snapshot",
+    "observe",
+    "Histogram",
+    "BUCKET_BOUNDS",
     "emit",
     "events",
 ]

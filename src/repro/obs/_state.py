@@ -30,9 +30,16 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.obs.hist import BUCKET_BOUNDS, Histogram
+
 #: Version of the JSONL trace schema written by :meth:`Telemetry.write_trace`
-#: and checked by :func:`repro.obs.report.validate_trace`.
-TRACE_SCHEMA = 1
+#: and checked by :func:`repro.obs.report.validate_trace`. Version 2 added
+#: the ``histograms`` line (PR 7); version-1 traces (no histograms) are
+#: still accepted by the validator.
+TRACE_SCHEMA = 2
+
+#: Schema versions :func:`repro.obs.report.validate_trace` accepts.
+SUPPORTED_SCHEMAS = frozenset({1, 2})
 
 _SEQ = itertools.count(1)
 _LOCK = threading.Lock()
@@ -94,6 +101,10 @@ class Telemetry:
         closed :class:`repro.obs.spans.SpanRecord` objects, close order.
     ``events``
         structured event dicts (``kind``, ``seq``, payload fields).
+    ``histograms``
+        name -> :class:`repro.obs.hist.Histogram` of observed durations
+        (every closed span feeds its name's histogram, plus explicit
+        :func:`repro.obs.observe` calls such as the solve-level latency).
     """
 
     def __init__(
@@ -105,6 +116,7 @@ class Telemetry:
         self.gauges: dict[str, float] = {}
         self.spans: list[Any] = []
         self.events: list[dict[str, Any]] = []
+        self.histograms: dict[str, Any] = {}
         self.started = time.perf_counter()
         self.wall_seconds = 0.0
 
@@ -115,6 +127,12 @@ class Telemetry:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
+
+    def observe_hist(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.observe(value)
 
     # -- aggregation ------------------------------------------------------
 
@@ -157,6 +175,15 @@ class Telemetry:
             "span_counts": {
                 name: cnt for name, (_, cnt) in sorted(self.span_totals().items())
             },
+            "latency_quantiles": {
+                name: {
+                    "count": h.count,
+                    "p50": round(h.percentile(0.50), 9),
+                    "p90": round(h.percentile(0.90), 9),
+                    "p99": round(h.percentile(0.99), 9),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
             "events": len(self.events),
         }
 
@@ -184,12 +211,25 @@ class Telemetry:
                     "dur": round(s.duration, 9),
                 }
             )
-        for ev in self.events:
+        # Sorted by seq: a background publisher thread (metrics heartbeats)
+        # may append out of order relative to the main thread.
+        for ev in sorted(self.events, key=lambda ev: ev.get("seq", 0)):
             lines.append({"type": "event", **ev})
         lines.append(
             {"type": "counters", "values": dict(sorted(self.counters.items()))}
         )
         lines.append({"type": "gauges", "values": dict(sorted(self.gauges.items()))})
+        if self.histograms:
+            lines.append(
+                {
+                    "type": "histograms",
+                    "bounds": list(BUCKET_BOUNDS),
+                    "values": {
+                        name: h.as_dict()
+                        for name, h in sorted(self.histograms.items())
+                    },
+                }
+            )
         lines.append(
             {
                 "type": "summary",

@@ -23,10 +23,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.obs._state import TRACE_SCHEMA, Telemetry
+from repro.errors import InputError
+from repro.obs._state import SUPPORTED_SCHEMAS, TRACE_SCHEMA, Telemetry
+from repro.obs.hist import validate_histogram
 
 #: Line types a valid trace may contain.
-KNOWN_TYPES = {"header", "span", "event", "counters", "gauges", "summary"}
+KNOWN_TYPES = {
+    "header", "span", "event", "counters", "gauges", "histograms", "summary",
+}
 
 
 @dataclass
@@ -38,6 +42,7 @@ class Trace:
     events: list[dict[str, Any]] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
     summary: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -56,6 +61,8 @@ class Trace:
                 trace.counters = dict(line.get("values", {}))
             elif kind == "gauges":
                 trace.gauges = dict(line.get("values", {}))
+            elif kind == "histograms":
+                trace.histograms = dict(line.get("values", {}))
             elif kind == "summary":
                 trace.summary = line
         return trace
@@ -71,17 +78,54 @@ class Trace:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Parse a JSONL trace file; raises ``ValueError`` on broken JSON."""
+    """Parse a JSONL trace file; raises :class:`repro.errors.InputError`
+    on anything that is not a well-formed trace.
+
+    Untrusted-input discipline (mirrors :mod:`repro.graph.io`): an empty
+    file, a binary blob, mid-file garbage, or a torn tail all raise a
+    typed :class:`InputError` with a one-line diagnosis — never a raw
+    traceback. Torn *tails* are identified with the same semantics as
+    :func:`repro._util.atomicio.repair_jsonl_tail` (an unterminated or
+    JSON-invalid final line is crash debris), but the file is left
+    untouched and the load is refused: a trace missing its ``summary``
+    seal is incomplete, and reports over it would silently lie.
+    """
+    p = Path(path)
+    try:
+        raw = p.read_bytes()
+    except OSError as exc:
+        raise InputError(f"cannot read trace file: {exc}") from exc
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise InputError(
+            f"not a JSONL trace (binary data at byte {exc.start})"
+        ) from exc
+    if not text.strip():
+        raise InputError("empty trace file (no records)")
+    if not text.endswith("\n"):
+        raise InputError(
+            "torn trailing record (file does not end in a newline) — "
+            "the writer died mid-append; re-record the trace"
+        )
     lines: list[dict[str, Any]] = []
-    for i, raw in enumerate(Path(path).read_text().splitlines(), 1):
-        if not raw.strip():
+    raw_lines = text.splitlines()
+    last_content = max(i for i, r in enumerate(raw_lines) if r.strip())
+    for i, raw_line in enumerate(raw_lines):
+        if not raw_line.strip():
             continue
         try:
-            line = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"line {i}: not valid JSON ({exc})") from exc
-        if not isinstance(line, dict):
-            raise ValueError(f"line {i}: expected a JSON object")
+            line = json.loads(raw_line)
+            if not isinstance(line, dict):
+                raise ValueError("expected a JSON object")
+        except ValueError as exc:
+            if i == last_content:
+                raise InputError(
+                    f"torn trailing record at line {i + 1} "
+                    f"({len(raw_line)} bytes of crash debris) — "
+                    "the writer died mid-append; re-record the trace"
+                ) from exc
+            raise InputError(f"line {i + 1}: not valid JSON ({exc})") from exc
         lines.append(line)
     return Trace.from_lines(lines)
 
@@ -107,10 +151,10 @@ def validate_trace(trace: Trace) -> list[str]:
     problems: list[str] = []
     if not trace.header:
         problems.append("missing header line")
-    elif trace.header.get("schema") != TRACE_SCHEMA:
+    elif trace.header.get("schema") not in SUPPORTED_SCHEMAS:
         problems.append(
             f"unsupported schema {trace.header.get('schema')!r} "
-            f"(expected {TRACE_SCHEMA})"
+            f"(supported: {sorted(SUPPORTED_SCHEMAS)})"
         )
 
     span_ids = set()
@@ -129,6 +173,21 @@ def validate_trace(trace: Trace) -> list[str]:
     for name, value in trace.counters.items():
         if not isinstance(value, int) or value < 0:
             problems.append(f"counter {name!r} is not a nonnegative int: {value!r}")
+
+    span_counts: dict[str, int] = {}
+    for s in trace.spans:
+        if "name" in s:
+            span_counts[s["name"]] = span_counts.get(s["name"], 0) + 1
+    for name, h in trace.histograms.items():
+        problems.extend(validate_histogram(name, h))
+        # Every span close observes its duration, so a span name's
+        # histogram count must equal its span count in the same trace.
+        if name in span_counts and isinstance(h, dict):
+            if h.get("count") != span_counts[name]:
+                problems.append(
+                    f"histogram {name!r} count ({h.get('count')}) != "
+                    f"span count ({span_counts[name]})"
+                )
 
     prev_seq = 0
     for ev in trace.events:
@@ -189,7 +248,7 @@ def validate_file(path: str | Path) -> list[str]:
     """Like :func:`validate_trace` but also catches parse errors."""
     try:
         trace = load_trace(path)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, InputError) as exc:
         return [str(exc)]
     return validate_trace(trace)
 
@@ -298,6 +357,37 @@ def render_hot_tree(trace: Trace, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def latency_quantiles(trace: Trace) -> list[tuple[str, int, float, float, float, float]]:
+    """Per-histogram latency summary: (name, count, p50, p90, p99, sum).
+
+    Quantiles are bucket-interpolated estimates over the fixed log-spaced
+    ladder (:data:`repro.obs.hist.BUCKET_BOUNDS`); rows are sorted by
+    total observed time, descending.
+    """
+    from repro.obs.hist import Histogram
+
+    rows = []
+    for name, d in trace.histograms.items():
+        try:
+            h = Histogram.from_dict(d)
+        except (KeyError, TypeError, ValueError):
+            continue  # malformed entries are reported by validate_trace
+        rows.append(
+            (name, h.count, h.percentile(0.50), h.percentile(0.90),
+             h.percentile(0.99), h.sum)
+        )
+    rows.sort(key=lambda r: -r[5])
+    return rows
+
+
+def _fmt_lat(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
 def render_report(trace: Trace, top: int = 10) -> str:
     """Human-readable telemetry report (the ``repro trace`` output)."""
     parts: list[str] = []
@@ -320,6 +410,20 @@ def render_report(trace: Trace, top: int = 10) -> str:
     parts.append("")
     parts.append(f"hot spans (top {top} by total time):")
     parts.append(render_hot_tree(trace, top=top))
+    lat_rows = latency_quantiles(trace)
+    if lat_rows:
+        parts.append("")
+        parts.append("latency histograms (bucket-interpolated quantiles):")
+        parts.append(
+            _fmt_table(
+                ["name", "count", "p50", "p90", "p99", "total"],
+                [
+                    [name, cnt, _fmt_lat(p50), _fmt_lat(p90), _fmt_lat(p99),
+                     _fmt_lat(tot)]
+                    for name, cnt, p50, p90, p99, tot in lat_rows
+                ],
+            )
+        )
     parts.append("")
     parts.append("counters:")
     counter_rows = [[k, v] for k, v in sorted(trace.counters.items())]
@@ -383,6 +487,16 @@ def report_json(trace: Trace, top: int = 10) -> dict[str, Any]:
         ],
         "counters": dict(sorted(trace.counters.items())),
         "gauges": dict(sorted(trace.gauges.items())),
+        "histograms": {
+            name: {
+                "count": cnt,
+                "p50": p50,
+                "p90": p90,
+                "p99": p99,
+                "sum": tot,
+            }
+            for name, cnt, p50, p90, p99, tot in latency_quantiles(trace)
+        },
         # The incremental-search engine's health at a glance (PR 4); the
         # same keys also appear in "counters"/"gauges" above.
         "search_cache": {

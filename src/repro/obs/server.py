@@ -1,0 +1,338 @@
+"""The `/metrics` endpoint: a stdlib push-aggregating exposition server.
+
+Production shape: one long-lived aggregator per host (``repro metrics
+serve --port P``) publishes a *shared session* — every solver process
+that was started with ``--metrics-port P`` attaches to it and pushes its
+live counters / gauges / histograms over loopback HTTP, pushgateway
+style. A Prometheus-compatible scraper then polls one stable address
+regardless of how many solves, sweeps, or online sessions come and go.
+
+Three moving parts, all stdlib:
+
+* :class:`MetricsServer` — ``ThreadingHTTPServer`` with three routes:
+  ``GET /metrics`` (exposition text 0.0.4, all sources merged),
+  ``GET /healthz`` (liveness JSON: source count, staleness), and
+  ``POST /push`` (one JSON snapshot of a session, keyed by its label).
+* :class:`MetricsPublisher` — a daemon thread owned by the *solver*
+  process: every ``interval`` seconds it snapshots the attached
+  :class:`repro.obs.Telemetry` session, POSTs it, and emits a
+  ``metrics.heartbeat`` event into the session — so a stalled solve is
+  visible both in the trace (heartbeats keep arriving, counters do not
+  move) and on the endpoint (``repro_push_age_seconds`` stays fresh
+  while work gauges freeze).
+* :func:`attach_metrics` — the CLI glue: reuse an aggregator already
+  listening on the port, or start an in-process one so a single
+  ``repro solve --metrics-port P`` works with no prior setup.
+
+Counters from *distinct* source labels are summed at render time;
+histograms are merged bucket-wise (the fixed ladder makes this exact);
+gauges last-write-win per source and are exported with a ``source``
+label when more than one source is live.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs import _state
+from repro.obs.hist import Histogram, validate_histogram
+from repro.obs.promtext import metric_name, render_prometheus
+
+#: Snapshot wire format version accepted by ``POST /push``.
+PUSH_SCHEMA = 1
+
+#: Default heartbeat/push cadence of a :class:`MetricsPublisher`.
+DEFAULT_PUSH_INTERVAL = 1.0
+
+
+@dataclass
+class _Source:
+    """Latest snapshot pushed by one session label."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+    pushes: int = 0
+    last_push: float = field(default_factory=time.monotonic)
+
+
+class _Registry:
+    """Thread-safe label → :class:`_Source` store behind the server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: dict[str, _Source] = {}
+        self.started = time.monotonic()
+
+    def push(self, label: str, snap: dict[str, Any]) -> None:
+        counters = snap.get("counters", {})
+        gauges = snap.get("gauges", {})
+        histograms = snap.get("histograms", {})
+        if not isinstance(counters, dict) or not isinstance(gauges, dict) \
+                or not isinstance(histograms, dict):
+            raise ValueError("counters/gauges/histograms must be objects")
+        for name, h in histograms.items():
+            problems = validate_histogram(name, h)
+            if problems:
+                raise ValueError("; ".join(problems))
+        with self._lock:
+            src = self._sources.setdefault(label, _Source())
+            src.counters = {str(k): int(v) for k, v in counters.items()}
+            src.gauges = {str(k): float(v) for k, v in gauges.items()}
+            src.histograms = histograms
+            src.pushes += 1
+            src.last_push = time.monotonic()
+
+    def render(self) -> str:
+        """Merge every source and render one exposition page."""
+        with self._lock:
+            sources = {label: src for label, src in self._sources.items()}
+        counters: dict[str, int] = {}
+        histograms: dict[str, Histogram] = {}
+        gauges: dict[str, float] = {}
+        multi = len(sources) > 1
+        extra: list[str] = []
+        now = time.monotonic()
+        m_sources = metric_name("metrics.sources")
+        extra.append(f"# TYPE {m_sources} gauge")
+        extra.append(f"{m_sources} {len(sources)}")
+        m_up = metric_name("metrics.uptime_seconds")
+        extra.append(f"# TYPE {m_up} gauge")
+        extra.append(f"{m_up} {now - self.started:.3f}")
+        m_pushes = metric_name("metrics.pushes", suffix="_total")
+        m_age = metric_name("metrics.push_age_seconds")
+        if sources:
+            extra.append(f"# TYPE {m_pushes} counter")
+            extra.append(f"# TYPE {m_age} gauge")
+        for label, src in sorted(sources.items()):
+            esc = label.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+            extra.append(f'{m_pushes}{{source="{esc}"}} {src.pushes}')
+            extra.append(f'{m_age}{{source="{esc}"}} {now - src.last_push:.3f}')
+            for name, v in src.counters.items():
+                counters[name] = counters.get(name, 0) + v
+            for name, h in src.histograms.items():
+                histograms.setdefault(name, Histogram()).merge(h)
+            for name, v in src.gauges.items():
+                if multi:
+                    mg = metric_name(name)
+                    extra.append(f'{mg}{{source="{esc}"}} {v}')
+                else:
+                    gauges[name] = v
+        return render_prometheus(counters, gauges, histograms, extra_lines=extra)
+
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            now = time.monotonic()
+            return {
+                "status": "ok",
+                "sources": len(self._sources),
+                "uptime_seconds": round(now - self.started, 3),
+                "push_age_seconds": {
+                    label: round(now - src.last_push, 3)
+                    for label, src in sorted(self._sources.items())
+                },
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes; the registry is attached to the server object."""
+
+    server_version = "repro-metrics/1"
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry: _Registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = registry.render().encode("utf-8")
+            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif self.path.split("?", 1)[0] == "/healthz":
+            body = (json.dumps(registry.health()) + "\n").encode("utf-8")
+            self._send(200, body, "application/json")
+        else:
+            self._send(404, b"not found\n", "text/plain")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        registry: _Registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] != "/push":
+            self._send(404, b"not found\n", "text/plain")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            snap = json.loads(self.rfile.read(length).decode("utf-8"))
+            if not isinstance(snap, dict) or snap.get("schema") != PUSH_SCHEMA:
+                raise ValueError(f"expected a push-snapshot/{PUSH_SCHEMA} object")
+            label = str(snap.get("label") or "unlabeled")
+            registry.push(label, snap)
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            self._send(400, f"bad push: {exc}\n".encode(), "text/plain")
+            return
+        self._send(200, b"ok\n", "text/plain")
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
+        pass  # scrapes every few seconds would spam stderr
+
+
+class MetricsServer:
+    """A running `/metrics` aggregator (daemon-threaded ``serve_forever``)."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self.registry = _Registry()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def snapshot_session(tel: Any, label: str) -> dict[str, Any]:
+    """One JSON-ready push snapshot of a live session.
+
+    Dict reads race benignly with the recording thread (GIL-atomic item
+    writes); a resize mid-iteration is retried a few times.
+    """
+    for attempt in range(4):
+        try:
+            return {
+                "schema": PUSH_SCHEMA,
+                "label": label,
+                "counters": dict(tel.counters),
+                "gauges": dict(tel.gauges),
+                "histograms": {
+                    name: h.as_dict() for name, h in dict(tel.histograms).items()
+                },
+            }
+        except RuntimeError:  # pragma: no cover - dict resized mid-copy
+            if attempt == 3:
+                raise
+            time.sleep(0.001)
+    raise AssertionError("unreachable")
+
+
+def push_snapshot(url: str, snap: dict[str, Any], timeout: float = 2.0) -> None:
+    """POST one snapshot to ``url``'s ``/push`` route (raises on refusal)."""
+    req = urllib.request.Request(
+        url.rstrip("/") + "/push",
+        data=json.dumps(snap).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout):
+        pass
+
+
+class MetricsPublisher:
+    """Periodic snapshot pusher + heartbeat emitter for one session.
+
+    Owns a daemon thread; every ``interval`` seconds it pushes the
+    session's current state to the aggregator and emits a
+    ``metrics.heartbeat`` event (plus a ``metrics.heartbeats`` counter)
+    into the session so mid-solve stalls leave a visible trail in both
+    the endpoint and the trace. :meth:`close` performs one final push so
+    the endpoint always ends up consistent with the finished session.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        tel: Any,
+        label: str,
+        interval: float = DEFAULT_PUSH_INTERVAL,
+    ) -> None:
+        self.url = url
+        self.tel = tel
+        self.label = label
+        self.interval = interval
+        self.pushes = 0
+        self.errors = 0
+        self._started = time.monotonic()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def _heartbeat(self) -> None:
+        if self.tel not in _state._SESSIONS:
+            return  # session already sealed; nothing to mark
+        # Scoped to the attached session only (unlike obs.emit, which
+        # would fan out to every active session, e.g. nested per-solve
+        # ones whose event trails must stay deterministic).
+        self.tel.events.append(
+            {
+                "kind": "metrics.heartbeat",
+                "seq": _state.next_seq(),
+                "elapsed_seconds": round(time.monotonic() - self._started, 3),
+                "pushes": self.pushes,
+                "push_errors": self.errors,
+            }
+        )
+        self.tel.add_counter("metrics.heartbeats", 1)
+
+    def _push_once(self) -> None:
+        try:
+            push_snapshot(self.url, snapshot_session(self.tel, self.label))
+            self.pushes += 1
+        except (OSError, urllib.error.URLError, RuntimeError):
+            self.errors += 1  # endpoint gone mid-run: solve goes on
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._heartbeat()
+            self._push_once()
+
+    def close(self) -> None:
+        """Stop the thread and push the final session state."""
+        self._stop.set()
+        self._thread.join(timeout=max(5.0, 2 * self.interval))
+        self._push_once()
+
+
+def attach_metrics(
+    port: int,
+    tel: Any,
+    label: str,
+    interval: float = DEFAULT_PUSH_INTERVAL,
+) -> tuple[MetricsPublisher, MetricsServer | None]:
+    """Attach a session to the shared `/metrics` endpoint on ``port``.
+
+    If an aggregator is already listening there (``repro metrics serve``,
+    or another solve that got there first), reuse it; otherwise start an
+    in-process :class:`MetricsServer` so a lone ``repro solve
+    --metrics-port P`` still exposes metrics. Returns the publisher and
+    the server iff this process owns it (close both when done).
+    """
+    url = f"http://127.0.0.1:{port}"
+    server: MetricsServer | None = None
+    try:
+        with urllib.request.urlopen(url + "/healthz", timeout=2.0):
+            pass
+    except (OSError, urllib.error.URLError):
+        server = MetricsServer(port)
+        url = server.url
+    return MetricsPublisher(url, tel, label, interval=interval), server

@@ -100,6 +100,7 @@ class span:
         )
         for tel in _state._SESSIONS:
             tel.spans.append(record)
+            tel.observe_hist(self.name, duration)
         return False
 
     def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:

@@ -76,6 +76,42 @@ def test_every_module_has_docstring():
     assert not missing, f"modules without leading docstring: {missing}"
 
 
+def test_every_emitted_counter_is_documented():
+    """Every counter/gauge/histogram name the code emits must appear in
+    docs/OBSERVABILITY.md — the glossary is a deliverable, and telemetry
+    nobody can look up is noise. Dynamic families (f-string names) are
+    checked by their static prefix."""
+    import re
+
+    docs = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    # Expand slash-grouped glossary entries like
+    # `search.aux_cache.hit/miss/evict` into full dotted names.
+    vocab = set()
+    for token in re.findall(r"`([^`\n]+)`", docs):
+        parts = token.split("/")
+        if "." not in parts[0]:
+            continue
+        vocab.add(parts[0])
+        prefix = parts[0].rsplit(".", 1)[0] + "."
+        vocab.update(prefix + p for p in parts[1:])
+
+    call_re = re.compile(
+        r'(?:\bobs\.(?:inc|add|gauge)|\bobserve|\badd_counter)\(\s*(f?)"([^"]+)"'
+    )
+    undocumented = []
+    for py in (ROOT / "src" / "repro").rglob("*.py"):
+        for is_fstring, name in call_re.findall(py.read_text()):
+            if is_fstring:
+                name = name.split("{", 1)[0].rstrip(".")
+            if name in docs or name in vocab:
+                continue
+            undocumented.append(f"{py.relative_to(ROOT)}: {name}")
+    assert not undocumented, (
+        "counters emitted but missing from docs/OBSERVABILITY.md glossary:\n  "
+        + "\n  ".join(sorted(set(undocumented)))
+    )
+
+
 def test_doctests_pass():
     """Run doctests embedded in docstrings (executable documentation)."""
     import doctest

@@ -221,8 +221,31 @@ class TestTraceFileAndReport:
         assert validate_trace(trace) == []
         assert validate_file(path) == []
         assert trace.header["label"] == "round-trip"
+        assert trace.header["schema"] == obs.TRACE_SCHEMA == 2
         assert trace.counters["cancellation.iterations"] >= 1
         assert trace.summary["spans"] == len(trace.spans)
+        # Schema 2: the histograms line round-trips, and each span-name
+        # histogram's count equals the trace's span count for that name.
+        assert trace.histograms["krsp.solve"]["count"] == 1
+        span_names = [s["name"] for s in trace.spans]
+        for name, h in trace.histograms.items():
+            if name in span_names:
+                assert h["count"] == span_names.count(name)
+
+    def test_histogram_span_count_cross_check(self, fig1, tmp_path):
+        g, s, t, k, bound = fig1
+        path = tmp_path / "trace.jsonl"
+        with obs.session(trace_path=path):
+            solve_krsp(g, s, t, k, bound, phase1="minsum")
+        lines = [json.loads(raw) for raw in path.read_text().splitlines()]
+        for line in lines:
+            if line["type"] == "histograms":
+                name = next(iter(line["values"]))
+                line["values"][name]["counts"][0] += 1
+                line["values"][name]["count"] += 1
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        problems = validate_file(path)
+        assert any("histogram" in p for p in problems)
 
     def test_report_renders_all_sections(self, fig1):
         g, s, t, k, bound = fig1
@@ -334,5 +357,54 @@ class TestOverheadGuard:
         budget = 200 * add_cost + 100 * span_cost + 50 * emit_cost
         assert budget < 0.05 * solve_seconds, (
             f"disabled-telemetry budget {budget:.6f}s exceeds 5% of "
+            f"solve time {solve_seconds:.6f}s"
+        )
+
+    def test_enabled_primitives_with_metrics_endpoint_are_cheap(self, fig1):
+        """Telemetry *enabled* — histograms recording, a live `/metrics`
+        publisher attached — must also cost <= 5% of a representative
+        solve (the PR 7 acceptance bar). Same per-primitive strategy as
+        the disabled guard: the publisher runs on its own thread, so the
+        solve-path cost is just the recording primitives."""
+        from repro.obs.server import MetricsPublisher, MetricsServer
+
+        g, s, t, k, bound = fig1
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            solve_krsp(g, s, t, k, bound, phase1="minsum")
+            times.append(time.perf_counter() - start)
+        solve_seconds = sorted(times)[2]
+
+        srv = MetricsServer(0)
+        try:
+            with obs.session(label="overhead") as tel:
+                publisher = MetricsPublisher(srv.url, tel, "overhead",
+                                             interval=0.05)
+                reps = 5_000
+                start = time.perf_counter()
+                for _ in itertools.repeat(None, reps):
+                    obs.add("x", 3)
+                add_cost = (time.perf_counter() - start) / reps
+                start = time.perf_counter()
+                for _ in itertools.repeat(None, reps):
+                    with obs.span("x"):
+                        pass
+                span_cost = (time.perf_counter() - start) / reps
+                start = time.perf_counter()
+                for _ in itertools.repeat(None, reps):
+                    obs.observe("x.latency", 1e-4)
+                observe_cost = (time.perf_counter() - start) / reps
+                publisher.close()
+            assert tel.histograms["x"].count >= reps  # spans fed histograms
+        finally:
+            srv.close()
+
+        # Same generous per-solve call budget as the disabled guard; spans
+        # now include the histogram observe on close, and krsp.solve adds
+        # one explicit observe per solve.
+        budget = 200 * add_cost + 100 * span_cost + 101 * observe_cost
+        assert budget < 0.05 * solve_seconds, (
+            f"enabled-telemetry budget {budget:.6f}s exceeds 5% of "
             f"solve time {solve_seconds:.6f}s"
         )
