@@ -1,0 +1,497 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the kRSP solve service (docs/SERVICE.md).
+
+Locust-style, stdlib-only: a declarative *run table* describes each run
+as a request mix × arrival rate × pool size; the harness fires requests
+at the configured rate **without waiting for responses** (open loop — a
+slow server cannot slow the generator down, so queueing shows up as
+latency, not as a lower offered rate). Every response becomes one JSONL
+row; each run folds into a summary with achieved rate, dedup hit-rate,
+latency quantiles, and deadline-miss / degraded / verified fractions.
+
+The request mix cycles deterministically through three shapes:
+
+* ``solve_unique`` — a fresh instance from the generator pool (cache
+  cold, exercises admission + workers);
+* ``solve_dup`` — re-posts one pinned instance (overlapping in-flight
+  duplicates hit the dedup path and must share byte-identical results);
+* ``resolve`` — churns the online session of an instance whose solve
+  already completed (falls back to ``solve_dup`` until one exists).
+
+Usage::
+
+    PYTHONPATH=src python scripts/load_harness.py --quick \
+        --jsonl out.jsonl --summary-out LOAD_QUICK.json --md-out load.md \
+        --require dropped==0 --require dedup_hits>0 \
+        --require verified_fraction==1.0 --require deadline_misses==0
+
+    PYTHONPATH=src python scripts/load_harness.py --table runs.json
+    PYTHONPATH=src python scripts/load_harness.py --url http://host:8710
+
+Exit status is nonzero iff a ``--require`` gate fails (or a run table
+cannot be executed), which is what the CI ``service-smoke`` job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import re
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.graph.generators import parallel_chains  # noqa: E402
+from repro.graph.io import instance_to_dict  # noqa: E402
+from repro.service import client as svc_client  # noqa: E402
+from repro.service.protocol import canonical_instance, instance_digest  # noqa: E402
+
+SUMMARY_SCHEMA = "load-harness/1"
+
+#: Default run table (see docs/SERVICE.md, "Run table format"). --quick
+#: replaces it with a single short mixed run against 4 workers.
+DEFAULT_TABLE = [
+    {
+        "name": "mixed-4w",
+        "duration_seconds": 20.0,
+        "rate_rps": 6.0,
+        "workers": 4,
+        "mix": {"solve_unique": 2, "solve_dup": 3, "resolve": 2},
+        "deadline_seconds": 30.0,
+        "tenants": ["alice", "bravo", "carol"],
+    },
+    {
+        "name": "dup-heavy-2w",
+        "duration_seconds": 15.0,
+        "rate_rps": 8.0,
+        "workers": 2,
+        "mix": {"solve_unique": 1, "solve_dup": 6, "resolve": 1},
+        "deadline_seconds": 30.0,
+        "tenants": ["alice", "bravo"],
+    },
+]
+
+QUICK_TABLE = [
+    {
+        "name": "quick-4w",
+        "duration_seconds": 6.0,
+        "rate_rps": 5.0,
+        "workers": 4,
+        "mix": {"solve_unique": 1, "solve_dup": 3, "resolve": 2},
+        "deadline_seconds": 30.0,
+        "tenants": ["alice", "bravo"],
+    },
+]
+
+
+def build_instance_pool(count: int = 8) -> list[dict]:
+    """Deterministic pool of small, always-feasible k=2 instances."""
+    pool = []
+    for i in range(count):
+        length = 2 + (i % 4)
+        g, s, t = parallel_chains(2, length)
+        rng = np.random.default_rng(1000 + i)
+        cost = rng.integers(1, 9, size=g.m).astype(np.int64)
+        delay = rng.integers(1, 5, size=g.m).astype(np.int64)
+        g = g.with_weights(cost, delay)
+        # Budget = total delay of everything: feasibility is structural.
+        inst = instance_to_dict(g, s, t, 2, int(delay.sum()))
+        pool.append(canonical_instance(inst))
+    return pool
+
+
+class RunRecorder:
+    """Collects one row per completed request, thread-safely."""
+
+    def __init__(self) -> None:
+        self.rows: list[dict] = []
+        self._lock = threading.Lock()
+        self.result_bytes: dict[str, list[bytes]] = {}
+        self.solved_hashes: list[str] = []
+
+    def add(self, row: dict) -> None:
+        with self._lock:
+            self.rows.append(row)
+
+    def note_solved(self, instance_hash: str) -> None:
+        with self._lock:
+            if instance_hash not in self.solved_hashes:
+                self.solved_hashes.append(instance_hash)
+
+    def pick_solved(self) -> str | None:
+        with self._lock:
+            return self.solved_hashes[0] if self.solved_hashes else None
+
+
+def _fire(url: str, body: dict, meta: dict, rec: RunRecorder) -> None:
+    t0 = time.perf_counter()
+    try:
+        code, resp, hdrs = svc_client.submit(url, body, timeout=120.0)
+    except OSError as exc:
+        rec.add({**meta, "ok": False, "dropped": True,
+                 "error": f"{type(exc).__name__}: {exc}",
+                 "latency_seconds": round(time.perf_counter() - t0, 6)})
+        return
+    latency = time.perf_counter() - t0
+    row = {
+        **meta,
+        "http_status": code,
+        "latency_seconds": round(latency, 6),
+        "dedup": hdrs.get("x-krsp-dedup"),
+        "job_id": hdrs.get("x-krsp-job"),
+        "ok": code == 200,
+        "dropped": code not in (200, 202),
+    }
+    if code == 200 and isinstance(resp, dict):
+        row["state"] = resp.get("state")
+        verification = resp.get("verification") or {}
+        row["verified"] = bool(verification.get("verified"))
+        sol = resp.get("solution") or {}
+        cert = sol.get("certificate") or {}
+        row["has_certificate"] = bool(cert)
+        row["deadline_missed"] = cert.get("exhausted_reason") == "deadline"
+        if resp.get("kind") == "solve" and resp.get("state") in (
+            "done", "degraded"
+        ):
+            rec.note_solved(resp.get("instance_hash"))
+    rec.add(row)
+
+
+def run_one(
+    run: dict,
+    url: str | None,
+    pool: list[dict],
+    rec: RunRecorder,
+) -> dict:
+    """Execute one run-table entry; returns its metrics summary."""
+    service_thread = None
+    drain_clean = None
+    if url is None:
+        from repro.service.server import ServiceConfig, ServiceThread
+
+        service_thread = ServiceThread(
+            ServiceConfig(workers=int(run.get("workers", 2)))
+        )
+        target = service_thread.url
+    else:
+        target = url
+
+    mix = run.get("mix", {"solve_unique": 1})
+    cycle: list[str] = []
+    for kind in ("solve_unique", "solve_dup", "resolve"):
+        cycle.extend([kind] * int(mix.get(kind, 0)))
+    if not cycle:
+        raise SystemExit(f"run {run.get('name')!r} has an empty mix")
+    tenants = run.get("tenants", ["default"])
+    deadline = run.get("deadline_seconds")
+    rate = float(run["rate_rps"])
+    duration = float(run["duration_seconds"])
+    total = max(1, int(rate * duration))
+    interval = 1.0 / rate
+    pinned = pool[0]
+    pinned_hash = instance_digest(pinned)
+
+    started = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=64) as tp:
+        futures = []
+        unique_i = 0
+        for i in range(total):
+            target_t = started + i * interval
+            delay_for = target_t - time.perf_counter()
+            if delay_for > 0:
+                time.sleep(delay_for)
+            shape = cycle[i % len(cycle)]
+            tenant = tenants[i % len(tenants)]
+            if shape == "resolve":
+                solved = rec.pick_solved()
+                if solved is None:
+                    shape = "solve_dup"
+                else:
+                    delta = {
+                        "schema": "instance-delta/1",
+                        "ops": [{"op": "reweight", "edge": 0,
+                                 "cost": 1 + (i % 7), "delay": 1}],
+                    }
+                    body = svc_client.solve_request(
+                        kind="resolve", instance_hash=solved, delta=delta,
+                        tenant=tenant, deadline_seconds=deadline,
+                    )
+            copies = 1
+            if shape == "solve_dup":
+                body = svc_client.solve_request(
+                    pinned, tenant=tenant, deadline_seconds=deadline
+                )
+                # Fire the duplicate as a simultaneous pair from two
+                # tenants: overlapping in-flight identical requests are
+                # the dedup path's reason to exist, and on instances
+                # this small a lone duplicate would land after its twin
+                # already finished.
+                copies = 2
+            elif shape == "solve_unique":
+                inst = pool[1 + unique_i % (len(pool) - 1)]
+                unique_i += 1
+                body = svc_client.solve_request(
+                    inst, tenant=tenant, deadline_seconds=deadline
+                )
+            for copy in range(copies):
+                meta = {
+                    "run": run["name"],
+                    "seq": i,
+                    "copy": copy,
+                    "shape": shape,
+                    "tenant": tenants[(i + copy) % len(tenants)],
+                    "submitted_offset": round(
+                        time.perf_counter() - started, 6
+                    ),
+                }
+                futures.append(tp.submit(_fire, target, body, meta, rec))
+        concurrent.futures.wait(futures)
+    elapsed = time.perf_counter() - started
+
+    scraped: dict[str, float] = {}
+    try:
+        text = svc_client.scrape_metrics(target)
+        for line in text.splitlines():
+            m = re.match(r"repro_(service_[a-z_]+)_total (\d+)", line)
+            if m:
+                scraped[m.group(1)] = float(m.group(2))
+    except OSError:
+        pass
+
+    if service_thread is not None:
+        t_drain = time.perf_counter()
+        service_thread.stop(drain=True)
+        drain_clean = (time.perf_counter() - t_drain) < 60.0
+
+    rows = [r for r in rec.rows if r.get("run") == run["name"]]
+    latencies = sorted(
+        r["latency_seconds"] for r in rows if "latency_seconds" in r
+    )
+
+    def pct(p: float) -> float | None:
+        if not latencies:
+            return None
+        idx = min(len(latencies) - 1, int(p * len(latencies)))
+        return round(latencies[idx], 6)
+
+    completed = [r for r in rows if r.get("ok")]
+    n_or_zero = max(1, len(completed))
+    metrics = {
+        "sent": len(rows),
+        "completed": len(completed),
+        "dropped": sum(1 for r in rows if r.get("dropped")),
+        "offered_rate_rps": round(rate, 3),
+        "achieved_rate_rps": round(len(completed) / max(elapsed, 1e-9), 3),
+        "dedup_hits": sum(1 for r in rows if r.get("dedup") == "hit"),
+        "dedup_hit_rate": round(
+            sum(1 for r in rows if r.get("dedup") == "hit") / max(1, len(rows)),
+            4,
+        ),
+        "latency_p50_seconds": pct(0.50),
+        "latency_p99_seconds": pct(0.99),
+        "deadline_misses": sum(1 for r in rows if r.get("deadline_missed")),
+        "deadline_miss_fraction": round(
+            sum(1 for r in rows if r.get("deadline_missed")) / n_or_zero, 4
+        ),
+        "degraded_fraction": round(
+            sum(1 for r in completed if r.get("state") == "degraded")
+            / n_or_zero,
+            4,
+        ),
+        "verified_fraction": round(
+            sum(1 for r in completed if r.get("verified")) / n_or_zero, 4
+        ),
+        "certificate_fraction": round(
+            sum(1 for r in completed if r.get("has_certificate")) / n_or_zero,
+            4,
+        ),
+        "wall_seconds": round(elapsed, 3),
+        "drain_clean": drain_clean,
+        "server_counters": scraped,
+    }
+    return metrics
+
+
+_REQ_RE = re.compile(r"^([a-z_]+)\s*(==|>=|<=|>|<)\s*([0-9.]+)$")
+
+
+def check_requirements(
+    requires: list[str], aggregate: dict
+) -> list[str]:
+    """Evaluate ``--require`` expressions against the aggregate metrics."""
+    failures = []
+    ops = {
+        "==": lambda a, b: a == b,
+        ">=": lambda a, b: a >= b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        "<": lambda a, b: a < b,
+    }
+    for spec in requires:
+        m = _REQ_RE.match(spec.strip())
+        if m is None:
+            failures.append(f"unparseable --require {spec!r}")
+            continue
+        key, op, raw = m.groups()
+        if key not in aggregate or aggregate[key] is None:
+            failures.append(f"--require {spec!r}: metric {key!r} missing")
+            continue
+        if not ops[op](float(aggregate[key]), float(raw)):
+            failures.append(
+                f"--require {spec!r} failed: {key}={aggregate[key]}"
+            )
+    return failures
+
+
+def aggregate_metrics(per_run: list[dict]) -> dict:
+    """Fold per-run metrics into the gate-facing aggregate."""
+    agg: dict = {
+        "sent": sum(r["metrics"]["sent"] for r in per_run),
+        "completed": sum(r["metrics"]["completed"] for r in per_run),
+        "dropped": sum(r["metrics"]["dropped"] for r in per_run),
+        "dedup_hits": sum(r["metrics"]["dedup_hits"] for r in per_run),
+        "deadline_misses": sum(
+            r["metrics"]["deadline_misses"] for r in per_run
+        ),
+    }
+    completed = max(1, agg["completed"])
+    agg["verified_fraction"] = round(
+        sum(
+            r["metrics"]["verified_fraction"] * r["metrics"]["completed"]
+            for r in per_run
+        )
+        / completed,
+        4,
+    )
+    agg["certificate_fraction"] = round(
+        sum(
+            r["metrics"]["certificate_fraction"] * r["metrics"]["completed"]
+            for r in per_run
+        )
+        / completed,
+        4,
+    )
+    drains = [r["metrics"]["drain_clean"] for r in per_run
+              if r["metrics"]["drain_clean"] is not None]
+    agg["drain_clean"] = float(all(drains)) if drains else None
+    return agg
+
+
+def render_markdown(per_run: list[dict], aggregate: dict) -> str:
+    lines = [
+        "# Load harness summary",
+        "",
+        "Open-loop generator (scripts/load_harness.py); rates are offered "
+        "vs achieved over the run's wall clock. See docs/SERVICE.md.",
+        "",
+        "| run | workers | offered rps | achieved rps | sent | dropped "
+        "| dedup hit-rate | p50 (s) | p99 (s) | deadline miss | degraded "
+        "| verified |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for entry in per_run:
+        cfg, m = entry["config"], entry["metrics"]
+        lines.append(
+            f"| {cfg['name']} | {cfg.get('workers', '—')} "
+            f"| {m['offered_rate_rps']} | {m['achieved_rate_rps']} "
+            f"| {m['sent']} | {m['dropped']} | {m['dedup_hit_rate']} "
+            f"| {m['latency_p50_seconds']} | {m['latency_p99_seconds']} "
+            f"| {m['deadline_miss_fraction']} | {m['degraded_fraction']} "
+            f"| {m['verified_fraction']} |"
+        )
+    lines += [
+        "",
+        f"Aggregate: {aggregate['completed']}/{aggregate['sent']} completed, "
+        f"{aggregate['dropped']} dropped, {aggregate['dedup_hits']} dedup "
+        f"hits, {aggregate['deadline_misses']} deadline misses, verified "
+        f"fraction {aggregate['verified_fraction']}.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--table", type=Path, default=None,
+                    help="run-table JSON (list of run objects); default: "
+                         "the built-in two-run table")
+    ap.add_argument("--quick", action="store_true",
+                    help="single short 4-worker run (the CI smoke shape)")
+    ap.add_argument("--url", default=None,
+                    help="target an already-running service instead of "
+                         "starting one per run (workers column is then "
+                         "informational)")
+    ap.add_argument("--jsonl", type=Path, default=None,
+                    help="write one JSON row per request here")
+    ap.add_argument("--summary-out", type=Path, default=None,
+                    help=f"write the {SUMMARY_SCHEMA} summary JSON here")
+    ap.add_argument("--md-out", type=Path, default=None,
+                    help="write the markdown summary table here")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="EXPR",
+                    help="aggregate gate, e.g. dropped==0 or dedup_hits>0 "
+                         "(repeatable; nonzero exit on failure)")
+    args = ap.parse_args(argv)
+
+    if args.table is not None:
+        table = json.loads(args.table.read_text())
+        if not isinstance(table, list) or not table:
+            print("error: run table must be a nonempty JSON list",
+                  file=sys.stderr)
+            return 2
+    elif args.quick:
+        table = QUICK_TABLE
+    else:
+        table = DEFAULT_TABLE
+
+    pool = build_instance_pool()
+    rec = RunRecorder()
+    per_run = []
+    for run in table:
+        print(f"load_harness: run {run['name']!r} "
+              f"({run['rate_rps']} rps x {run['duration_seconds']}s, "
+              f"workers={run.get('workers')})", flush=True)
+        metrics = run_one(run, args.url, pool, rec)
+        per_run.append({"config": run, "metrics": metrics})
+        print(f"  -> {metrics['completed']}/{metrics['sent']} ok, "
+              f"{metrics['dropped']} dropped, "
+              f"dedup {metrics['dedup_hits']}, "
+              f"p50 {metrics['latency_p50_seconds']}s "
+              f"p99 {metrics['latency_p99_seconds']}s", flush=True)
+
+    aggregate = aggregate_metrics(per_run)
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "quick": bool(args.quick),
+        "runs": per_run,
+        "aggregate": aggregate,
+    }
+    if args.jsonl is not None:
+        args.jsonl.write_text(
+            "\n".join(json.dumps(r, sort_keys=True) for r in rec.rows) + "\n"
+        )
+    if args.summary_out is not None:
+        args.summary_out.write_text(json.dumps(summary, indent=2) + "\n")
+    md = render_markdown(per_run, aggregate)
+    if args.md_out is not None:
+        args.md_out.write_text(md)
+    else:
+        print(md)
+
+    failures = check_requirements(args.require, aggregate)
+    for f in failures:
+        print(f"load_harness: GATE FAILED: {f}", file=sys.stderr)
+    if not failures and args.require:
+        print(f"load_harness: all {len(args.require)} gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

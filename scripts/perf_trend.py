@@ -26,7 +26,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-KNOWN_SCHEMAS = ("bench-gate/1", "bench-online/1")
+KNOWN_SCHEMAS = ("bench-gate/1", "bench-online/1", "load-harness/1")
 
 
 def _load_reports(paths: list[Path]) -> list[tuple[str, dict]]:
@@ -54,6 +54,7 @@ def render_trend(reports: list[tuple[str, dict]]) -> str:
     """The full markdown document for a set of parsed reports."""
     gate = [(n, d) for n, d in reports if d.get("schema") == "bench-gate/1"]
     online = [(n, d) for n, d in reports if d.get("schema") == "bench-online/1"]
+    load = [(n, d) for n, d in reports if d.get("schema") == "load-harness/1"]
 
     lines = ["# Performance trend", ""]
     lines.append(
@@ -129,7 +130,35 @@ def render_trend(reports: list[tuple[str, dict]]) -> str:
                 lines.append("| " + " | ".join(row) + " |")
             lines.append("")
 
-    if not gate and not online:
+    if load:
+        lines.append("## Service load harness (scripts/load_harness.py)")
+        lines.append("")
+        lines.append(
+            "| report / run | workers | offered rps | achieved rps "
+            "| dropped | dedup hit-rate | p50 (ms) | p99 (ms) "
+            "| deadline miss | verified |"
+        )
+        lines.append("|" + "---|" * 10)
+        for name, d in load:
+            for entry in d.get("runs", []):
+                cfg = entry.get("config", {})
+                m = entry.get("metrics", {})
+                tag = " (quick)" if d.get("quick") else ""
+                lines.append(
+                    f"| {name}{tag} / {cfg.get('name', '—')} "
+                    f"| {cfg.get('workers', '—')} "
+                    f"| {m.get('offered_rate_rps', '—')} "
+                    f"| {m.get('achieved_rate_rps', '—')} "
+                    f"| {m.get('dropped', '—')} "
+                    f"| {m.get('dedup_hit_rate', '—')} "
+                    f"| {_fmt_ms(m.get('latency_p50_seconds'))} "
+                    f"| {_fmt_ms(m.get('latency_p99_seconds'))} "
+                    f"| {m.get('deadline_miss_fraction', '—')} "
+                    f"| {m.get('verified_fraction', '—')} |"
+                )
+        lines.append("")
+
+    if not gate and not online and not load:
         lines.append("_No bench reports found._")
         lines.append("")
     return "\n".join(lines)

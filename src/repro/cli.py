@@ -37,6 +37,12 @@ Commands
     ``serve`` runs a Prometheus ``/metrics`` aggregator that solves and
     sweeps publish to via ``--metrics-port``; ``check`` validates a
     scraped exposition page as text-format 0.0.4.
+``serve``
+    Run the kRSP solve service (docs/SERVICE.md): an async HTTP server
+    scheduling solve/resolve requests from many tenants onto a worker
+    pool, with fair weighted scheduling, in-flight dedup, per-request
+    deadlines, and verified certificates on every response. SIGTERM
+    drains gracefully (stop admitting, finish queued work, then exit).
 
 Examples
 --------
@@ -53,6 +59,7 @@ Examples
     python -m repro metrics serve --port 9109 &
     python -m repro solve inst.json --metrics-port 9109
     python -m repro metrics check http://127.0.0.1:9109/metrics
+    python -m repro serve --port 8710 --workers 4 --metrics-port 9109
     python -m repro experiment e1
     python -m repro fuzz --budget 30 --seed 0 --report fuzz.json
 """
@@ -629,7 +636,8 @@ def _metrics_serve(args: argparse.Namespace) -> int:
     from repro.obs.server import MetricsServer
 
     try:
-        srv = MetricsServer(args.port, host=args.host)
+        srv = MetricsServer(args.port, host=args.host,
+                            allow_remote_push=args.allow_remote_push)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
@@ -679,6 +687,75 @@ def _metrics_check(args: argparse.Namespace) -> int:
     print(f"valid text-format 0.0.4: {len(families)} metric families "
           f"({kinds}) from {source}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import ServiceConfig, SolveService
+
+    weights: dict[str, int] = {}
+    for spec in args.tenant_weight or []:
+        name, sep, raw = spec.partition("=")
+        try:
+            weight = int(raw)
+            if not sep or not name or weight < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --tenant-weight wants NAME=W with W >= 1, "
+                  f"got {spec!r}", file=sys.stderr)
+            return 2
+        weights[name] = weight
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        spool_dir=args.spool,
+        metrics_port=args.metrics_port,
+        default_deadline=args.default_deadline,
+        max_queue=args.max_queue,
+        tenant_weights=weights,
+        allow_chaos=args.allow_chaos,
+        warm=not args.no_warm,
+    )
+
+    async def _main() -> int:
+        service = SolveService(config)
+        try:
+            await service.start()
+        except OSError as exc:
+            print(f"error: cannot bind {config.host}:{config.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"kRSP service ready on {service.url} "
+              f"({config.workers} workers, spool {service.spool})",
+              flush=True)
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, shutdown.set)
+        drained = True
+        try:
+            if args.for_seconds is not None:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(shutdown.wait(), args.for_seconds)
+            else:
+                await shutdown.wait()
+            print("draining: no new requests, finishing queued work...",
+                  flush=True)
+            drained = await service.drain(timeout=args.drain_timeout)
+        finally:
+            await service.stop()
+        if not drained:
+            print(f"error: drain timed out after {args.drain_timeout}s",
+                  file=sys.stderr)
+            return 1
+        print("drained cleanly", flush=True)
+        return 0
+
+    return asyncio.run(_main())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -876,6 +953,9 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="S",
                           help="exit after S seconds (default: run until "
                                "interrupted)")
+    p_mserve.add_argument("--allow-remote-push", action="store_true",
+                          help="accept /push from non-loopback sources "
+                               "(default: loopback only, 403 otherwise)")
     p_mserve.set_defaults(func=cmd_metrics)
     p_mcheck = metrics_sub.add_parser(
         "check", help="validate a /metrics page (file or http URL) as "
@@ -884,6 +964,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_mcheck.add_argument("source", help="path to a scraped exposition file, "
                                          "or an http(s)://.../metrics URL")
     p_mcheck.set_defaults(func=cmd_metrics)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the kRSP solve service (docs/SERVICE.md)"
+    )
+    p_serve.add_argument("--port", type=int, default=8710,
+                         help="TCP port to listen on (default 8710; 0 picks "
+                              "a free port)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="solver worker processes (default 2)")
+    p_serve.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                         help="publish service.* telemetry to a /metrics "
+                              "endpoint on port P (reuses a running "
+                              "`repro metrics serve` aggregator)")
+    p_serve.add_argument("--spool", default=None, metavar="DIR",
+                         help="directory for per-job status journals "
+                              "(default: a private temp dir)")
+    p_serve.add_argument("--default-deadline", type=float, default=None,
+                         metavar="S",
+                         help="deadline applied to requests that do not "
+                              "set deadline_seconds")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="admission cap; beyond it submissions get "
+                              "HTTP 429 (default 256)")
+    p_serve.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                         help="give tenant NAME a dispatch weight of W "
+                              "(repeatable; unlisted tenants weigh 1)")
+    p_serve.add_argument("--for-seconds", type=float, default=None,
+                         metavar="S",
+                         help="begin draining after S seconds (default: "
+                              "run until SIGTERM/SIGINT)")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         metavar="S",
+                         help="max seconds to wait for queued work on "
+                              "shutdown (default 60)")
+    p_serve.add_argument("--allow-chaos", action="store_true",
+                         help="accept the test-only 'chaos' request field "
+                              "(worker fault injection)")
+    p_serve.add_argument("--no-warm", action="store_true",
+                         help="skip pre-spawning the worker pool at start")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

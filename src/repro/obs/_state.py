@@ -105,6 +105,16 @@ class Telemetry:
         name -> :class:`repro.obs.hist.Histogram` of observed durations
         (every closed span feeds its name's histogram, plus explicit
         :func:`repro.obs.observe` calls such as the solve-level latency).
+    ``lock``
+        guards the dict-shaped state (``counters``/``gauges``/
+        ``histograms``) against concurrent snapshot readers: a
+        :class:`MetricsPublisher <repro.obs.server.MetricsPublisher>`
+        thread copying the session mid-solve must see internally
+        consistent dicts and histogram ``sum``/``count`` pairs. The lists
+        (``spans``, ``events``) are append-only and copy safely without
+        it. Recording pays one uncontended acquire per *flush* (hot loops
+        already accumulate locally and flush once), which keeps the
+        overhead guard honest.
     """
 
     def __init__(
@@ -117,22 +127,26 @@ class Telemetry:
         self.spans: list[Any] = []
         self.events: list[dict[str, Any]] = []
         self.histograms: dict[str, Any] = {}
+        self.lock = threading.Lock()
         self.started = time.perf_counter()
         self.wall_seconds = 0.0
 
     # -- recording (called by the obs.* helper functions) -----------------
 
     def add_counter(self, name: str, n: int) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self.lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self.lock:
+            self.gauges[name] = value
 
     def observe_hist(self, name: str, value: float) -> None:
-        h = self.histograms.get(name)
-        if h is None:
-            h = self.histograms[name] = Histogram()
-        h.observe(value)
+        with self.lock:
+            h = self.histograms.get(name)
+            if h is None:
+                h = self.histograms[name] = Histogram()
+            h.observe(value)
 
     # -- aggregation ------------------------------------------------------
 

@@ -32,6 +32,7 @@ label when more than one source is live.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -50,6 +51,19 @@ PUSH_SCHEMA = 1
 
 #: Default heartbeat/push cadence of a :class:`MetricsPublisher`.
 DEFAULT_PUSH_INTERVAL = 1.0
+
+#: Largest body ``POST /push`` accepts. A legitimate snapshot is a few KiB
+#: of counters; anything near this cap is either a bug or an attack, and
+#: reading an unbounded ``Content-Length`` into memory must not be the
+#: failure mode either way.
+MAX_PUSH_BYTES = 8 * 1024 * 1024
+
+
+def _is_loopback(ip: str) -> bool:
+    """True for IPv4/IPv6 loopback peers (optionally v4-mapped)."""
+    if ip.startswith("::ffff:"):
+        ip = ip[len("::ffff:"):]
+    return ip == "::1" or ip.startswith("127.")
 
 
 @dataclass
@@ -169,8 +183,28 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path.split("?", 1)[0] != "/push":
             self._send(404, b"not found\n", "text/plain")
             return
+        allow_remote = getattr(self.server, "allow_remote_push", False)
+        if not allow_remote and not _is_loopback(str(self.client_address[0])):
+            self._send(403, b"push forbidden: loopback peers only\n",
+                       "text/plain")
+            return
+        raw_length = self.headers.get("Content-Length")
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            length = int(raw_length)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            self._send(400, f"bad push: missing or malformed Content-Length "
+                            f"{raw_length!r}\n".encode(), "text/plain")
+            return
+        if length < 0:
+            self._send(400, b"bad push: negative Content-Length\n",
+                       "text/plain")
+            return
+        if length > MAX_PUSH_BYTES:
+            self._send(413, f"push too large: {length} bytes exceeds the "
+                            f"{MAX_PUSH_BYTES}-byte cap\n".encode(),
+                       "text/plain")
+            return
+        try:
             snap = json.loads(self.rfile.read(length).decode("utf-8"))
             if not isinstance(snap, dict) or snap.get("schema") != PUSH_SCHEMA:
                 raise ValueError(f"expected a push-snapshot/{PUSH_SCHEMA} object")
@@ -188,11 +222,19 @@ class _Handler(BaseHTTPRequestHandler):
 class MetricsServer:
     """A running `/metrics` aggregator (daemon-threaded ``serve_forever``)."""
 
-    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        allow_remote_push: bool = False,
+    ) -> None:
         self.registry = _Registry()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        # ``POST /push`` mutates the registry, so by default only loopback
+        # peers may call it (scraping GETs stay open — they are read-only).
+        self._httpd.allow_remote_push = allow_remote_push  # type: ignore[attr-defined]
         self.host, self.port = self._httpd.server_address[:2]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-metrics", daemon=True
@@ -213,25 +255,25 @@ class MetricsServer:
 def snapshot_session(tel: Any, label: str) -> dict[str, Any]:
     """One JSON-ready push snapshot of a live session.
 
-    Dict reads race benignly with the recording thread (GIL-atomic item
-    writes); a resize mid-iteration is retried a few times.
+    The copy is taken under the session's ``lock`` (see
+    :class:`repro.obs.Telemetry`), so a solver thread inserting a *new*
+    counter/histogram key mid-snapshot can neither raise ``RuntimeError:
+    dictionary changed size during iteration`` nor tear a histogram's
+    ``counts``/``sum``/``count`` triple across an in-flight ``observe``.
+    Duck-typed sessions without a ``lock`` attribute are copied bare (only
+    safe when nothing records concurrently).
     """
-    for attempt in range(4):
-        try:
-            return {
-                "schema": PUSH_SCHEMA,
-                "label": label,
-                "counters": dict(tel.counters),
-                "gauges": dict(tel.gauges),
-                "histograms": {
-                    name: h.as_dict() for name, h in dict(tel.histograms).items()
-                },
-            }
-        except RuntimeError:  # pragma: no cover - dict resized mid-copy
-            if attempt == 3:
-                raise
-            time.sleep(0.001)
-    raise AssertionError("unreachable")
+    lock = getattr(tel, "lock", None)
+    with lock if lock is not None else contextlib.nullcontext():
+        return {
+            "schema": PUSH_SCHEMA,
+            "label": label,
+            "counters": dict(tel.counters),
+            "gauges": dict(tel.gauges),
+            "histograms": {
+                name: h.as_dict() for name, h in tel.histograms.items()
+            },
+        }
 
 
 def push_snapshot(url: str, snap: dict[str, Any], timeout: float = 2.0) -> None:
@@ -272,6 +314,12 @@ class MetricsPublisher:
         self.errors = 0
         self._started = time.monotonic()
         self._stop = threading.Event()
+        # Serializes pushes across threads: the publisher thread and a
+        # closing caller must never interleave two POSTs (double-counted
+        # ``pushes`` at the aggregator, final snapshot overwritten by a
+        # stale in-flight one).
+        self._push_lock = threading.Lock()
+        self._closed = False
         self._thread = threading.Thread(
             target=self._run, name="repro-metrics-publisher", daemon=True
         )
@@ -295,11 +343,15 @@ class MetricsPublisher:
         self.tel.add_counter("metrics.heartbeats", 1)
 
     def _push_once(self) -> None:
-        try:
-            push_snapshot(self.url, snapshot_session(self.tel, self.label))
-            self.pushes += 1
-        except (OSError, urllib.error.URLError, RuntimeError):
-            self.errors += 1  # endpoint gone mid-run: solve goes on
+        with self._push_lock:
+            try:
+                push_snapshot(self.url, snapshot_session(self.tel, self.label))
+                self.pushes += 1
+            except (OSError, urllib.error.URLError):
+                self.errors += 1  # endpoint gone mid-run: solve goes on
+            # Anything else (e.g. a snapshot bug) propagates: a silently
+            # dropped push looks exactly like a healthy idle endpoint, and
+            # that is how the snapshot race hid for a whole PR.
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
@@ -307,9 +359,23 @@ class MetricsPublisher:
             self._push_once()
 
     def close(self) -> None:
-        """Stop the thread and push the final session state."""
+        """Stop the thread and push the final session state.
+
+        Idempotent: a second ``close`` returns immediately. The final
+        push happens on the caller thread only when the publisher thread
+        is confirmed dead — if the join timed out with a push still in
+        flight, that thread keeps ownership of the last POST (the push
+        lock already prevents interleaving, and skipping the caller-side
+        push prevents a stale in-flight snapshot landing *after* the
+        final one at the aggregator).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._stop.set()
         self._thread.join(timeout=max(5.0, 2 * self.interval))
+        if self._thread.is_alive():  # pragma: no cover - stuck push
+            return
         self._push_once()
 
 

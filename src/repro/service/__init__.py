@@ -1,0 +1,79 @@
+"""kRSP-as-a-service: a multi-tenant async solve server (docs/SERVICE.md).
+
+Turns the library's one-shot :func:`repro.core.krsp.solve_krsp` and the
+online :func:`repro.online.resolve` engine into a long-running HTTP
+service: requests are canonicalized and deduplicated
+(:mod:`.protocol`), scheduled fairly across tenants (:mod:`.scheduler`),
+executed on a spawn-context worker pool under per-request anytime
+budgets (:mod:`.worker`), and every response carries an independently
+verified certificate. :mod:`.server` is the asyncio front end behind
+``repro serve``; :mod:`.client` the stdlib client the load harness and
+tests use.
+"""
+
+from repro.service.client import (
+    healthz,
+    request_json,
+    result,
+    scrape_metrics,
+    solve_request,
+    status,
+    submit,
+)
+from repro.service.protocol import (
+    ACK_SCHEMA,
+    KINDS,
+    PRIORITY_MAX,
+    PRIORITY_MIN,
+    REQUEST_SCHEMA,
+    RESULT_SCHEMA,
+    STATES,
+    TERMINAL_STATES,
+    SolveRequest,
+    apply_overrides,
+    canonical_instance,
+    instance_digest,
+    parse_request,
+    request_key,
+)
+from repro.service.scheduler import SessionGate, WeightedFairQueue
+from repro.service.server import (
+    Job,
+    ServiceConfig,
+    ServiceThread,
+    SolveService,
+    serve,
+)
+from repro.service.worker import run_job
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "RESULT_SCHEMA",
+    "ACK_SCHEMA",
+    "KINDS",
+    "STATES",
+    "TERMINAL_STATES",
+    "PRIORITY_MIN",
+    "PRIORITY_MAX",
+    "SolveRequest",
+    "parse_request",
+    "request_key",
+    "canonical_instance",
+    "instance_digest",
+    "apply_overrides",
+    "WeightedFairQueue",
+    "SessionGate",
+    "ServiceConfig",
+    "SolveService",
+    "ServiceThread",
+    "Job",
+    "serve",
+    "run_job",
+    "solve_request",
+    "request_json",
+    "submit",
+    "status",
+    "result",
+    "healthz",
+    "scrape_metrics",
+]

@@ -1,0 +1,119 @@
+"""Thin stdlib HTTP client for the solve service.
+
+Used by the load harness, the CLI, and the test suite. Deliberately
+dumb: every helper is a blocking ``urllib`` round-trip returning
+``(status_code, body)`` — concurrency belongs to the caller (the load
+harness runs these on a thread pool; tests drive them from plain
+threads). Nothing here raises on HTTP error statuses: a 4xx/5xx is a
+*response*, and the callers assert on it.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.service.protocol import REQUEST_SCHEMA
+
+#: Per-request socket timeout; generous because wait=true submissions
+#: hold the connection for the whole solve.
+DEFAULT_TIMEOUT = 120.0
+
+
+def request_json(
+    url: str,
+    body: dict[str, Any] | None = None,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> tuple[int, Any, dict[str, str]]:
+    """One HTTP exchange: ``(status, parsed JSON body, headers)``.
+
+    ``body`` present → POST, else GET. A non-2xx status is returned, not
+    raised; a body that is not JSON comes back as the raw text.
+    """
+    data = None
+    headers = {}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            raw = resp.read()
+            status = resp.status
+            hdrs = {k.lower(): v for k, v in resp.headers.items()}
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        status = exc.code
+        hdrs = {k.lower(): v for k, v in exc.headers.items()}
+    try:
+        parsed = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        parsed = raw.decode("utf-8", "replace")
+    return status, parsed, hdrs
+
+
+def solve_request(
+    instance: dict[str, Any] | None = None,
+    *,
+    kind: str = "solve",
+    instance_hash: str | None = None,
+    tenant: str = "default",
+    priority: int = 0,
+    eps: Any = None,
+    deadline_seconds: float | None = None,
+    delta: dict[str, Any] | None = None,
+    wait: bool = True,
+    chaos: str | None = None,
+) -> dict[str, Any]:
+    """Assemble a ``krsp-service/1`` submission body."""
+    body: dict[str, Any] = {
+        "schema": REQUEST_SCHEMA,
+        "kind": kind,
+        "tenant": tenant,
+        "priority": priority,
+        "wait": wait,
+    }
+    if instance is not None:
+        body["instance"] = instance
+    if instance_hash is not None:
+        body["instance_hash"] = instance_hash
+    if eps is not None:
+        body["eps"] = eps
+    if deadline_seconds is not None:
+        body["deadline_seconds"] = deadline_seconds
+    if delta is not None:
+        body["delta"] = delta
+    if chaos is not None:
+        body["chaos"] = chaos
+    return body
+
+
+def submit(
+    base_url: str, body: dict[str, Any], *, timeout: float = DEFAULT_TIMEOUT
+) -> tuple[int, Any, dict[str, str]]:
+    """POST a submission body to ``/v1/solve``."""
+    return request_json(base_url + "/v1/solve", body, timeout=timeout)
+
+
+def status(base_url: str, job_id: str) -> tuple[int, Any, dict[str, str]]:
+    """GET a job's lifecycle transitions."""
+    return request_json(base_url + f"/v1/status/{job_id}")
+
+
+def result(base_url: str, job_id: str) -> tuple[int, Any, dict[str, str]]:
+    """GET a job's result (202 body while still in flight)."""
+    return request_json(base_url + f"/v1/result/{job_id}")
+
+
+def healthz(base_url: str) -> tuple[int, Any, dict[str, str]]:
+    """GET the health/queue snapshot."""
+    return request_json(base_url + "/healthz")
+
+
+def scrape_metrics(base_url: str) -> str:
+    """GET ``/metrics`` as raw Prometheus text."""
+    with urllib.request.urlopen(base_url + "/metrics", timeout=10.0) as resp:
+        return resp.read().decode("utf-8")

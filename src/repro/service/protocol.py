@@ -1,0 +1,286 @@
+"""Wire protocol of the kRSP solve service.
+
+One JSON request schema (``krsp-service/1``) covers both kinds of work
+the server accepts:
+
+* ``solve`` — a full kRSP instance, inline (:mod:`repro.graph.io` dict
+  form) or by the canonical hash of an instance the server has already
+  seen, optionally overriding the query fields (``s, t, k,
+  delay_bound``) over the stored graph;
+* ``resolve`` — an ``instance-delta/1`` churn delta against the online
+  session the server keeps per solved instance (docs/ONLINE.md), served
+  warm through :func:`repro.online.resolve` when possible.
+
+Every request additionally carries scheduling metadata (``tenant``,
+``priority``), an anytime ``deadline_seconds`` that becomes the worker's
+:class:`repro.robustness.SolveBudget`, and the polynomial-variant ``eps``.
+
+Canonicalization is the load-bearing part: :func:`canonical_instance`
+round-trips the inline instance through the strict
+:func:`repro.graph.io` validators and re-serializes it, so two clients
+posting the *same logical instance* with different key orders, integer
+widths, or float spellings produce byte-identical canonical JSON — and
+therefore the same :func:`instance_digest`, which is what in-flight
+request deduplication keys on (:func:`request_key`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import InputError
+from repro.graph.io import instance_from_dict, instance_to_dict
+
+#: Request schema tag every submission must carry.
+REQUEST_SCHEMA = "krsp-service/1"
+
+#: Result schema tag of a completed job's body.
+RESULT_SCHEMA = "krsp-service-result/1"
+
+#: Ack schema tag returned for ``wait: false`` submissions.
+ACK_SCHEMA = "krsp-service-ack/1"
+
+#: Work kinds the service schedules.
+KINDS = ("solve", "resolve")
+
+# -- request/job lifecycle states ----------------------------------------
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_DEGRADED = "degraded"
+STATE_FAILED = "failed"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({STATE_DONE, STATE_DEGRADED, STATE_FAILED})
+
+#: Full lifecycle, in order of progress.
+STATES = (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_DEGRADED,
+          STATE_FAILED)
+
+#: Priority band accepted from clients (higher = dispatched earlier
+#: within a tenant). Clamped rather than rejected so a misconfigured
+#: client degrades to best-effort instead of erroring.
+PRIORITY_MIN, PRIORITY_MAX = -2, 2
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One parsed, validated, canonicalized service request.
+
+    ``instance`` is always the canonical dict form after
+    :func:`parse_request` (for by-hash submissions it is filled in by the
+    server from its instance store before scheduling). ``instance_hash``
+    is the digest of that canonical form.
+    """
+
+    kind: str
+    tenant: str
+    priority: int
+    instance: dict[str, Any] | None
+    instance_hash: str | None
+    overrides: dict[str, int] | None
+    delta: dict[str, Any] | None
+    eps: tuple[float, float] | float | None
+    deadline_seconds: float | None
+    wait: bool = True
+    chaos: str | None = None
+
+
+def canonical_instance(data: dict[str, Any]) -> dict[str, Any]:
+    """Validate an inline instance dict and return its canonical form.
+
+    Round-trips through the strict :mod:`repro.graph.io` parser so a
+    malformed instance fails here (HTTP 400 territory) instead of inside
+    a worker, and so the canonical dict is independent of how the client
+    spelled it.
+    """
+    g, s, t, k, bound = instance_from_dict(data)
+    return instance_to_dict(g, s, t, k, bound)
+
+
+def instance_digest(canonical: dict[str, Any]) -> str:
+    """SHA-256 of an instance's canonical JSON (sorted keys, no spaces)."""
+    blob = json.dumps(canonical, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def apply_overrides(
+    canonical: dict[str, Any], overrides: dict[str, int]
+) -> dict[str, Any]:
+    """A new canonical instance with query fields replaced.
+
+    ``overrides`` may set any of ``s, t, k, delay_bound`` over the stored
+    graph; the result is re-validated (an override pointing ``s`` outside
+    the vertex range fails like any bad instance).
+    """
+    merged = dict(canonical)
+    for key, value in overrides.items():
+        merged[key] = value
+    return canonical_instance(merged)
+
+
+def _opt_float(data: dict[str, Any], key: str, *, lo: float = 0.0) -> float | None:
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InputError(f"request {key} must be a number")
+    value = float(value)
+    if value < lo:
+        raise InputError(f"request {key} must be >= {lo}")
+    return value
+
+
+def parse_request(data: Any, *, allow_chaos: bool = False) -> SolveRequest:
+    """Parse and validate one submission body (raises :class:`InputError`).
+
+    ``allow_chaos`` gates the test-only ``chaos`` field (worker fault
+    injection); servers started without test hooks strip it.
+    """
+    if not isinstance(data, dict):
+        raise InputError("request body must be a JSON object")
+    if data.get("schema") != REQUEST_SCHEMA:
+        raise InputError(
+            f"unsupported request schema {data.get('schema')!r} "
+            f"(expected {REQUEST_SCHEMA!r})"
+        )
+    kind = data.get("kind", "solve")
+    if kind not in KINDS:
+        raise InputError(f"unknown request kind {kind!r} (expected {KINDS})")
+
+    tenant = data.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+        raise InputError("tenant must be a nonempty string of <= 64 chars")
+
+    priority = data.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise InputError("priority must be an integer")
+    priority = max(PRIORITY_MIN, min(PRIORITY_MAX, priority))
+
+    eps_raw = data.get("eps")
+    eps: tuple[float, float] | float | None
+    if eps_raw is None:
+        eps = None
+    elif isinstance(eps_raw, (int, float)) and not isinstance(eps_raw, bool):
+        if eps_raw <= 0:
+            raise InputError("eps must be positive")
+        eps = float(eps_raw)
+    elif (isinstance(eps_raw, (list, tuple)) and len(eps_raw) == 2
+          and all(isinstance(e, (int, float)) and not isinstance(e, bool)
+                  for e in eps_raw)):
+        if any(e <= 0 for e in eps_raw):
+            raise InputError("eps components must be positive")
+        eps = (float(eps_raw[0]), float(eps_raw[1]))
+    else:
+        raise InputError("eps must be a positive number or a pair")
+
+    deadline = _opt_float(data, "deadline_seconds")
+    wait = data.get("wait", True)
+    if not isinstance(wait, bool):
+        raise InputError("wait must be a boolean")
+
+    instance = data.get("instance")
+    instance_hash = data.get("instance_hash")
+    if instance is not None and instance_hash is not None:
+        raise InputError("give instance or instance_hash, not both")
+    if instance is None and instance_hash is None:
+        raise InputError("request needs an instance or an instance_hash")
+    if instance_hash is not None and (
+        not isinstance(instance_hash, str) or len(instance_hash) != 64
+    ):
+        raise InputError("instance_hash must be a 64-char hex digest")
+
+    overrides_raw = data.get("overrides")
+    overrides: dict[str, int] | None = None
+    if overrides_raw is not None:
+        if not isinstance(overrides_raw, dict):
+            raise InputError("overrides must be an object")
+        unknown = set(overrides_raw) - {"s", "t", "k", "delay_bound"}
+        if unknown:
+            raise InputError(f"unknown override fields {sorted(unknown)}")
+        overrides = {}
+        for key, value in overrides_raw.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise InputError(f"override {key} must be an integer")
+            overrides[key] = value
+
+    delta = data.get("delta")
+    if kind == "resolve":
+        if instance_hash is None:
+            raise InputError("resolve requests address a session by "
+                             "instance_hash (solve it first)")
+        if not isinstance(delta, dict):
+            raise InputError("resolve requests need an instance-delta/1 "
+                             "delta object")
+        if eps is not None:
+            raise InputError("resolve is incompatible with eps (online "
+                             "sessions carry the (1, 2) guarantee; see "
+                             "docs/ONLINE.md)")
+        if overrides is not None:
+            raise InputError("resolve does not take overrides (churn the "
+                             "session with delta ops instead)")
+    elif delta is not None:
+        raise InputError("solve requests do not take a delta")
+
+    if instance is not None:
+        instance = canonical_instance(instance)
+        if overrides:
+            instance = apply_overrides(instance, overrides)
+            overrides = None
+        instance_hash = instance_digest(instance)
+
+    chaos = data.get("chaos") if allow_chaos else None
+    if chaos is not None and chaos not in ("exit", "sleep"):
+        raise InputError(f"unknown chaos hook {chaos!r}")
+
+    return SolveRequest(
+        kind=kind,
+        tenant=tenant,
+        priority=priority,
+        instance=instance,
+        instance_hash=instance_hash,
+        overrides=overrides,
+        delta=delta,
+        eps=eps,
+        deadline_seconds=deadline,
+        wait=wait,
+        chaos=chaos,
+    )
+
+
+def request_key(req: SolveRequest, session_version: int = 0) -> str:
+    """Dedup key: requests with this key in flight share one execution.
+
+    Everything that can change the *answer* is part of the key (kind,
+    canonical instance hash, delta, eps, deadline bucket, session
+    version for resolves); scheduling metadata (tenant, priority, wait)
+    deliberately is not — two tenants asking the same question share one
+    solve, which is the point of dedup.
+
+    Deadlines are bucketed to one decimal second: requests whose budgets
+    differ by less than that would produce equivalent results anyway,
+    and exact-float keying would make dedup uselessly fragile.
+    """
+    deadline_bucket = (
+        None if req.deadline_seconds is None
+        else round(req.deadline_seconds, 1)
+    )
+    blob = json.dumps(
+        {
+            "kind": req.kind,
+            "instance_hash": req.instance_hash,
+            "delta": req.delta,
+            "eps": req.eps,
+            "deadline": deadline_bucket,
+            "session_version": session_version if req.kind == "resolve" else 0,
+            "chaos": req.chaos,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,815 @@
+"""kRSP-as-a-service: the asyncio solve server.
+
+One process, three moving parts:
+
+* an ``asyncio.start_server`` HTTP front end (stdlib-only, one request
+  per connection) accepting ``POST /v1/solve`` submissions and serving
+  ``GET /v1/status|result/<job>``, ``/metrics`` and ``/healthz``;
+* an admission pipeline — parse/canonicalize (:mod:`.protocol`), dedup
+  identical in-flight work by :func:`~repro.service.protocol.request_key`,
+  journal ``queued``, enqueue into the
+  :class:`~repro.service.scheduler.WeightedFairQueue`;
+* a dispatcher pumping the queue into a **spawn**-context
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the server process
+  runs threads and holds locks; forking it could deadlock children),
+  with online sessions serialized per instance hash through the
+  :class:`~repro.service.scheduler.SessionGate`.
+
+Invariants the tests lean on:
+
+* **Dedup is byte-exact.** A job's result body is serialized once;
+  every subscriber — original and deduped alike — receives the *same
+  bytes object*. Whether a response was deduped is reported out-of-band
+  (``X-Krsp-Dedup`` header), never in the body.
+* **Deadline misses are results, not errors.** A solve that runs out of
+  budget returns HTTP 200 with ``state: degraded`` and a certificate
+  explaining itself; HTTP 5xx is reserved for the server being unable
+  to answer at all.
+* **A dead worker never takes the service down.** ``BrokenProcessPool``
+  respawns the pool (generation-guarded, so a crash that breaks many
+  in-flight futures respawns once) and retries each affected job once;
+  a job that kills its worker twice fails alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import tempfile
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import InputError
+from repro.obs._state import Telemetry
+from repro.obs.promtext import render_session
+from repro.obs.server import MetricsPublisher, MetricsServer, attach_metrics
+from repro.robustness.journal import JournalWriter, read_journal
+from repro.service.protocol import (
+    ACK_SCHEMA,
+    RESULT_SCHEMA,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    SolveRequest,
+    parse_request,
+    request_key,
+)
+from repro.service.scheduler import SessionGate, WeightedFairQueue
+from repro.service.worker import run_job, warm_probe
+
+#: Request-body cap (canonical instances of the eval sizes fit easily).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_HTTP_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    spool_dir: str | Path | None = None
+    metrics_port: int | None = None
+    default_deadline: float | None = None
+    max_queue: int = 256
+    max_jobs_kept: int = 1024
+    tenant_weights: dict[str, int] = field(default_factory=dict)
+    allow_chaos: bool = False
+    fsync_journal: bool = False
+    warm: bool = True
+
+
+@dataclass
+class Job:
+    """One scheduled unit of work (shared by all deduped subscribers)."""
+
+    job_id: str
+    request: SolveRequest
+    key: str
+    journal_path: Path
+    deadline_ts: float | None
+    submitted: float
+    done: asyncio.Event
+    state: str = STATE_QUEUED
+    result: dict[str, Any] | None = None
+    result_bytes: bytes | None = None
+    subscribers: int = 1
+    retried: bool = False
+    queue_wait: float = 0.0
+
+
+class SolveService:
+    """The server object; drive it with :func:`serve` or in tests via
+    :class:`ServiceThread`."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._tel = Telemetry(label="service")
+        self._queue = WeightedFairQueue()
+        for tenant, weight in config.tenant_weights.items():
+            self._queue.set_weight(tenant, weight)
+        self._gate = SessionGate()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._instances: dict[str, dict[str, Any]] = {}
+        self._sessions: dict[str, dict[str, Any]] = {}
+        self._running = 0
+        self._draining = False
+        self._seq = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_gen = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._publisher: MetricsPublisher | None = None
+        self._metrics_server: MetricsServer | None = None
+        if config.spool_dir is None:
+            self._spool_tmp = tempfile.TemporaryDirectory(prefix="krsp-svc-")
+            self.spool = Path(self._spool_tmp.name)
+        else:
+            self._spool_tmp = None
+            self.spool = Path(config.spool_dir)
+            self.spool.mkdir(parents=True, exist_ok=True)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener, spawn + optionally warm the worker pool."""
+        self._make_executor()
+        if self.config.warm:
+            await self._warm_pool()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        if self.config.metrics_port is not None:
+            self._publisher, self._metrics_server = attach_metrics(
+                self.config.metrics_port, self._tel, "service"
+            )
+
+    def _make_executor(self) -> None:
+        # spawn, never fork: this process runs the asyncio loop plus
+        # publisher threads holding locks — a forked child could inherit
+        # a held lock and deadlock on first telemetry flush.
+        ctx = multiprocessing.get_context("spawn")
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=ctx
+        )
+
+    async def _warm_pool(self) -> None:
+        """Pay worker spawn cost up front, not on the first request.
+
+        Each probe sleeps briefly so the pool fans the batch out across
+        all ``workers`` processes instead of reusing the first one.
+        """
+        loop = asyncio.get_running_loop()
+        probes = [
+            loop.run_in_executor(self._executor, warm_probe, 0.05)
+            for _ in range(self.config.workers)
+        ]
+        await asyncio.gather(*probes)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def begin_drain(self) -> None:
+        """Stop admitting: new submissions get 503, queued work finishes."""
+        self._draining = True
+        self._tel.set_gauge("service.draining", 1.0)
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every accepted job to reach a terminal state."""
+        self.begin_drain()
+
+        async def _wait() -> None:
+            while any(
+                j.state not in TERMINAL_STATES for j in self._jobs.values()
+            ):
+                await asyncio.sleep(0.02)
+
+        try:
+            await asyncio.wait_for(_wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def stop(self) -> None:
+        """Tear everything down (call after :meth:`drain`)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._publisher is not None:
+            self._publisher.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+        if self._spool_tmp is not None:
+            self._spool_tmp.cleanup()
+
+    # -- admission --------------------------------------------------------
+
+    def _next_job_id(self) -> str:
+        self._seq += 1
+        return f"job-{self._seq:06d}"
+
+    def _submit(self, req: SolveRequest) -> tuple[Job, bool]:
+        """Admit a parsed request; returns ``(job, deduped)``.
+
+        Raises :class:`InputError` for addressing errors (unknown hash /
+        session) — the HTTP layer maps those to 404.
+        """
+        if req.instance is None:
+            stored = self._instances.get(req.instance_hash or "")
+            if req.kind == "solve":
+                if stored is None:
+                    raise _Unknown(f"unknown instance_hash {req.instance_hash}")
+                req = dataclasses.replace(req, instance=stored)
+                if req.overrides:
+                    from repro.service.protocol import (
+                        apply_overrides,
+                        instance_digest,
+                    )
+
+                    inst = apply_overrides(stored, req.overrides)
+                    req = dataclasses.replace(
+                        req, instance=inst, overrides=None,
+                        instance_hash=instance_digest(inst),
+                    )
+            elif req.instance_hash not in self._sessions:
+                raise _Unknown(
+                    f"no online session for {req.instance_hash} "
+                    "(solve it first)"
+                )
+        if req.instance is not None and req.instance_hash is not None:
+            self._instances.setdefault(req.instance_hash, req.instance)
+
+        version = 0
+        if req.kind == "resolve":
+            version = self._sessions[req.instance_hash]["version"]
+        key = request_key(req, session_version=version)
+
+        existing = self._inflight.get(key)
+        if existing is not None and existing.state not in TERMINAL_STATES:
+            existing.subscribers += 1
+            self._tel.add_counter("service.dedup.hits", 1)
+            return existing, True
+
+        deadline = req.deadline_seconds
+        if deadline is None:
+            deadline = self.config.default_deadline
+        job_id = self._next_job_id()
+        job = Job(
+            job_id=job_id,
+            request=req,
+            key=key,
+            journal_path=self.spool / f"{job_id}.journal",
+            deadline_ts=None if deadline is None else time.time() + deadline,
+            submitted=time.perf_counter(),
+            done=asyncio.Event(),
+        )
+        writer = JournalWriter.fresh(
+            job.journal_path,
+            instance={"instance_hash": req.instance_hash, "kind": req.kind},
+            config={"tenant": req.tenant, "priority": req.priority,
+                    "deadline_seconds": deadline},
+            fsync=self.config.fsync_journal,
+        )
+        writer.append({"kind": "status", "state": STATE_QUEUED})
+        writer.close()
+        self._jobs[job.job_id] = job
+        self._inflight[key] = job
+        self._queue.push(req.tenant, req.priority, job)
+        self._tel.set_gauge("service.queue_depth", float(len(self._queue)))
+        self._evict_jobs()
+        self._pump()
+        return job, False
+
+    def _evict_jobs(self) -> None:
+        if len(self._jobs) <= self.config.max_jobs_kept:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.config.max_jobs_kept:
+                break
+            if self._jobs[job_id].state in TERMINAL_STATES:
+                del self._jobs[job_id]
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _gate_key(self, job: Job) -> str | None:
+        """Session key a job must hold exclusively while running."""
+        req = job.request
+        if req.kind == "resolve":
+            return req.instance_hash
+        if req.eps is None:
+            # eps-free solves (re)open the online session for their hash.
+            return req.instance_hash
+        return None
+
+    def _pump(self) -> None:
+        """Move queued jobs onto free workers (event-loop thread only)."""
+        while self._running < self.config.workers and len(self._queue):
+            job = self._queue.pop()
+            if job is None:  # pragma: no cover - len() guard above
+                break
+            gate_key = self._gate_key(job)
+            if gate_key is not None and not self._gate.admit(gate_key, job):
+                continue  # parked; released when the session frees up
+            self._running += 1
+            asyncio.get_running_loop().create_task(self._run_job(job))
+        self._tel.set_gauge("service.queue_depth", float(len(self._queue)))
+        self._tel.set_gauge("service.inflight", float(self._running))
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = STATE_RUNNING
+        job.queue_wait = time.perf_counter() - job.submitted
+        self._tel.observe_hist("service.queue_wait", job.queue_wait)
+        loop = asyncio.get_running_loop()
+        payload = self._payload_for(job)
+        gen = self._executor_gen
+        try:
+            result = await loop.run_in_executor(
+                self._executor, run_job, payload
+            )
+        except BrokenProcessPool:
+            self._respawn(gen)
+            if not job.retried:
+                job.retried = True
+                self._tel.add_counter("service.worker_retries", 1)
+                self._finish_running(job)
+                self._requeue(job)
+                return
+            result = {
+                "state": STATE_FAILED,
+                "error": "worker process died twice running this job",
+                "solution": None, "verification": None,
+                "session_state": None, "counters": {},
+                "elapsed_seconds": 0.0,
+            }
+            self._append_terminal(job, result)
+        except Exception as exc:  # worker bug: fail the job, not the server
+            result = {
+                "state": STATE_FAILED,
+                "error": f"{type(exc).__name__}: {exc}",
+                "solution": None, "verification": None,
+                "session_state": None, "counters": {},
+                "elapsed_seconds": 0.0,
+            }
+            self._append_terminal(job, result)
+        self._finish_running(job)
+        self._finalize(job, result)
+
+    def _finish_running(self, job: Job) -> None:
+        self._running -= 1
+        gate_key = self._gate_key(job)
+        if gate_key is not None:
+            for parked in self._gate.release(gate_key):
+                self._queue.push(
+                    parked.request.tenant, parked.request.priority, parked
+                )
+        self._pump()
+
+    def _requeue(self, job: Job) -> None:
+        job.state = STATE_QUEUED
+        self._queue.push(job.request.tenant, job.request.priority, job)
+        self._pump()
+
+    def _respawn(self, gen: int) -> None:
+        """Replace a broken pool exactly once per breakage."""
+        if self._executor_gen != gen:
+            return  # a sibling future already respawned this generation
+        self._executor_gen += 1
+        self._tel.add_counter("service.worker_respawns", 1)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._make_executor()
+
+    def _append_terminal(self, job: Job, result: dict[str, Any]) -> None:
+        """Journal a terminal record the worker could not write itself."""
+        writer, _ = JournalWriter.reopen(
+            job.journal_path, fsync=self.config.fsync_journal
+        )
+        try:
+            writer.append({
+                "kind": "status",
+                "state": result["state"],
+                "error": result.get("error"),
+            })
+        finally:
+            writer.close()
+
+    def _payload_for(self, job: Job) -> dict[str, Any]:
+        req = job.request
+        payload: dict[str, Any] = {
+            "job_id": job.job_id,
+            "kind": req.kind,
+            "instance": req.instance,
+            "eps": req.eps,
+            "deadline_ts": job.deadline_ts,
+            "journal_path": str(job.journal_path),
+            "fsync": self.config.fsync_journal,
+            "chaos": req.chaos,
+        }
+        if req.kind == "resolve":
+            payload["state"] = self._sessions[req.instance_hash]["state"]
+            payload["delta"] = req.delta
+        return payload
+
+    def _finalize(self, job: Job, result: dict[str, Any]) -> None:
+        req = job.request
+        job.state = result["state"]
+        job.result = result
+        self._tel.add_counter(f"service.completed.{job.state}", 1)
+        self._tel.add_counter("service.requests_finished", 1)
+
+        sol = result.get("solution")
+        cert = (sol or {}).get("certificate") or {}
+        if cert.get("exhausted_reason") == "deadline":
+            self._tel.add_counter("service.deadline_misses", 1)
+        for name, n in (result.get("counters") or {}).items():
+            self._tel.add_counter(name, int(n))
+        self._tel.observe_hist(
+            "service.solve", float(result.get("elapsed_seconds", 0.0))
+        )
+        self._tel.observe_hist(
+            "service.request", time.perf_counter() - job.submitted
+        )
+
+        session_state = result.get("session_state")
+        if session_state is not None and req.instance_hash is not None:
+            prior = self._sessions.get(req.instance_hash)
+            self._sessions[req.instance_hash] = {
+                "state": session_state,
+                "version": (prior["version"] + 1 if prior else 1),
+            }
+            self._tel.set_gauge("service.sessions", float(len(self._sessions)))
+
+        body = {
+            "schema": RESULT_SCHEMA,
+            "job_id": job.job_id,
+            "kind": req.kind,
+            "state": job.state,
+            "instance_hash": req.instance_hash,
+            "error": result.get("error"),
+            "solution": sol,
+            "verification": result.get("verification"),
+            "elapsed_seconds": result.get("elapsed_seconds"),
+            "queue_wait_seconds": round(job.queue_wait, 6),
+        }
+        # Serialized exactly once: all deduped subscribers get these bytes.
+        job.result_bytes = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        job.done.set()
+
+    # -- HTTP front end ---------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=30.0
+                )
+            except _HttpError as exc:
+                await self._respond(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return
+            await self._route(writer, method, path, body)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            raise _HttpError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict[str, Any] | bytes,
+        headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
+    ) -> None:
+        if isinstance(body, dict):
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        else:
+            payload = body
+        reason = _HTTP_REASONS.get(status, "")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> None:
+        if method == "GET" and path == "/healthz":
+            await self._respond(writer, 200, self._health_body())
+            return
+        if method == "GET" and path == "/metrics":
+            text = render_session(self._tel)
+            await self._respond(
+                writer, 200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+            return
+        if method == "GET" and path.startswith("/v1/status/"):
+            await self._get_status(writer, path.rsplit("/", 1)[1])
+            return
+        if method == "GET" and path.startswith("/v1/result/"):
+            await self._get_result(writer, path.rsplit("/", 1)[1])
+            return
+        if path == "/v1/solve":
+            if method != "POST":
+                await self._respond(
+                    writer, 405, {"error": "POST required"}
+                )
+                return
+            await self._post_solve(writer, body)
+            return
+        self._tel.add_counter("service.rejected.not_found", 1)
+        await self._respond(writer, 404, {"error": f"no route {path}"})
+
+    def _health_body(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "workers": self.config.workers,
+            "queue_depth": len(self._queue),
+            "queue_by_tenant": self._queue.depth_by_tenant(),
+            "inflight": self._running,
+            "sessions": len(self._sessions),
+            "jobs": len(self._jobs),
+        }
+
+    async def _post_solve(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        self._tel.add_counter("service.requests", 1)
+        if self._draining:
+            self._tel.add_counter("service.rejected.draining", 1)
+            await self._respond(
+                writer, 503, {"error": "server is draining"}
+            )
+            return
+        if len(self._queue) >= self.config.max_queue:
+            self._tel.add_counter("service.rejected.queue_full", 1)
+            await self._respond(
+                writer, 429,
+                {"error": f"queue full ({self.config.max_queue})"},
+            )
+            return
+        try:
+            data = json.loads(body.decode("utf-8"))
+            req = parse_request(data, allow_chaos=self.config.allow_chaos)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._tel.add_counter("service.rejected.bad_request", 1)
+            await self._respond(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        except InputError as exc:
+            self._tel.add_counter("service.rejected.bad_request", 1)
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        try:
+            job, deduped = self._submit(req)
+        except _Unknown as exc:
+            self._tel.add_counter("service.rejected.unknown", 1)
+            await self._respond(writer, 404, {"error": str(exc)})
+            return
+        headers = {
+            "X-Krsp-Job": job.job_id,
+            "X-Krsp-Dedup": "hit" if deduped else "miss",
+        }
+        if not req.wait:
+            await self._respond(
+                writer, 202,
+                {
+                    "schema": ACK_SCHEMA,
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "instance_hash": req.instance_hash,
+                    "deduped": deduped,
+                },
+                headers,
+            )
+            return
+        await job.done.wait()
+        assert job.result_bytes is not None
+        headers["X-Krsp-State"] = job.state
+        await self._respond(writer, 200, job.result_bytes, headers)
+
+    async def _get_status(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            self._tel.add_counter("service.rejected.unknown", 1)
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        # Tail the status journal: survives even if this process restarts
+        # with the same spool, and shows the worker's pid transitions.
+        transitions: list[dict[str, Any]] = []
+        try:
+            doc = read_journal(job.journal_path)
+            transitions = [
+                {k: v for k, v in rec.items() if k != "kind"}
+                for rec in doc.of_kind("status")
+            ]
+        except (OSError, InputError):  # pragma: no cover - spool raced
+            pass
+        await self._respond(
+            writer, 200,
+            {
+                "job_id": job_id,
+                "state": job.state,
+                "subscribers": job.subscribers,
+                "transitions": transitions,
+            },
+        )
+
+    async def _get_result(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            self._tel.add_counter("service.rejected.unknown", 1)
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        if job.state not in TERMINAL_STATES:
+            await self._respond(
+                writer, 202,
+                {"schema": ACK_SCHEMA, "job_id": job_id, "state": job.state},
+            )
+            return
+        assert job.result_bytes is not None
+        await self._respond(
+            writer, 200, job.result_bytes, {"X-Krsp-State": job.state}
+        )
+
+
+class _Unknown(Exception):
+    """Addressing error: unknown instance hash or session (HTTP 404)."""
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def serve(config: ServiceConfig, *, ready: "threading.Event | None" = None,
+                shutdown: "asyncio.Event | None" = None) -> None:
+    """Run a service until ``shutdown`` is set; drains before returning."""
+    service = SolveService(config)
+    await service.start()
+    if ready is not None:
+        ready.set()
+    if shutdown is None:
+        shutdown = asyncio.Event()
+    try:
+        await shutdown.wait()
+        await service.drain(timeout=60.0)
+    finally:
+        await service.stop()
+
+
+class ServiceThread:
+    """A service on a background thread — the test/harness harness.
+
+    Starts its own event loop, waits until the listener is bound, and
+    exposes the service for white-box assertions. ``stop()`` drains and
+    joins.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **kw: Any) -> None:
+        self.config = config or ServiceConfig(**kw)
+        self.service: SolveService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._shutdown: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="krsp-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120.0):
+            raise RuntimeError("service failed to start within 120s")
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._shutdown = asyncio.Event()
+        self.service = SolveService(self.config)
+
+        async def _main() -> None:
+            await self.service.start()
+            self._ready.set()
+            await self._shutdown.wait()
+
+        try:
+            self._loop.run_until_complete(_main())
+        finally:
+            self._loop.close()
+
+    @property
+    def url(self) -> str:
+        assert self.service is not None
+        return self.service.url
+
+    def call(self, fn: Any, *args: Any) -> Any:
+        """Run ``fn(*args)`` on the service loop; returns its result."""
+        assert self._loop is not None
+        if asyncio.iscoroutine(fn) or asyncio.iscoroutinefunction(fn):
+            fut = asyncio.run_coroutine_threadsafe(
+                fn(*args) if callable(fn) else fn, self._loop
+            )
+            return fut.result(timeout=120.0)
+        done = threading.Event()
+        box: list[Any] = []
+
+        def _invoke() -> None:
+            box.append(fn(*args))
+            done.set()
+
+        self._loop.call_soon_threadsafe(_invoke)
+        done.wait(timeout=120.0)
+        return box[0] if box else None
+
+    def begin_drain(self) -> None:
+        self.call(self.service.begin_drain)
+
+    def stop(self, drain: bool = True) -> None:
+        if self._loop is None or not self._thread.is_alive():
+            return
+        if drain:
+            self.call(self.service.drain, 60.0)
+        fut = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        )
+        fut.result(timeout=30.0)
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout=30.0)

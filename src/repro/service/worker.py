@@ -1,0 +1,223 @@
+"""Worker-process entry point of the solve service.
+
+:func:`run_job` is the single picklable function the server submits to
+its (spawn-context) :class:`~concurrent.futures.ProcessPoolExecutor`.
+It receives one plain-dict job payload, runs the solve or resolve under
+a :class:`repro.robustness.SolveBudget` derived from the request's
+*absolute* deadline (queue wait has already been charged against it),
+verifies the result against the original instance with
+:func:`repro.core.verify.verify_solution`, and returns a plain dict —
+nothing crossing the process boundary is a live object.
+
+Lifecycle records go into the job's status journal (the PR 5 CRC-framed
+format): the server writes ``queued`` when it accepts the job, the
+worker appends ``running`` on pickup and a terminal record on exit, so
+``GET /v1/status`` can be answered by tailing the journal even while
+the job is deep inside a solve — and a worker that dies mid-job leaves
+a journal whose last record is ``running``, which is exactly how the
+dispatcher distinguishes a crash from a slow solve.
+
+Outcome taxonomy mirrors the anytime layer: a deadline miss is a
+``degraded`` *result* (best valid solution found, certificate attached),
+never an exception; only invalid input or an infeasible instance is
+``failed``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro import obs
+from repro.core.krsp import solve_krsp
+from repro.core.verify import verify_solution
+from repro.errors import ReproError
+from repro.graph.io import instance_from_dict, instance_to_dict
+from repro.online.deltas import delta_from_dict
+from repro.online.engine import (
+    resolve,
+    start_online,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.robustness.anytime import STATUS_OK, make_certificate
+from repro.robustness.budget import SolveBudget
+from repro.robustness.journal import JournalWriter
+from repro.service.protocol import (
+    STATE_DEGRADED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_RUNNING,
+)
+
+
+def warm_probe(seconds: float = 0.0) -> int:
+    """No-op task the server fans out at startup to pre-spawn workers."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _budget_from_deadline(deadline_ts: float | None) -> SolveBudget | None:
+    """Remaining wall budget at pickup time (absolute epoch deadline)."""
+    if deadline_ts is None:
+        return None
+    return SolveBudget(deadline_seconds=max(0.0, deadline_ts - time.time()))
+
+
+def _solution_payload(sol: Any) -> dict[str, Any]:
+    """Wire form of a :class:`~repro.core.krsp.KRSPSolution`."""
+    cert = sol.certificate
+    if cert is None:
+        # Warm resolves and rebuilt sessions may carry a bare solution;
+        # the service contract is that every response proves itself.
+        cert = make_certificate(
+            sol.cost, sol.delay, sol.delay_bound, sol.cost_lower_bound
+        )
+    return {
+        "paths": [[int(e) for e in p] for p in sol.paths],
+        "cost": int(sol.cost),
+        "delay": int(sol.delay),
+        "delay_bound": int(sol.delay_bound),
+        "delay_feasible": bool(sol.delay_feasible),
+        "status": sol.status,
+        "provider": sol.provider,
+        "iterations": int(sol.iterations),
+        "scaled": bool(sol.scaled),
+        "cost_lower_bound": (
+            None if sol.cost_lower_bound is None else float(sol.cost_lower_bound)
+        ),
+        "certificate": cert.as_dict(),
+    }
+
+
+def _verify(instance: dict[str, Any], sol: Any) -> dict[str, Any]:
+    """Re-check the solution against the *original* instance dict.
+
+    ``check_bounds=False``: the LP lower bound was already certified
+    inside the solve; re-deriving it here would double the service's
+    latency for no additional trust. Structural validity and exact
+    cost/delay totals are recomputed from scratch.
+    """
+    g, s, t, k, delay_bound = instance_from_dict(instance)
+    report = verify_solution(
+        g, s, t, k, delay_bound, sol.paths,
+        check_bounds=False,
+        claimed_cost=sol.cost,
+        claimed_delay=sol.delay,
+    )
+    # A delay-budget miss the solution *declared* (delay_feasible=False,
+    # negative certificate slack) is a degraded answer, not a lie; any
+    # other issue — structural, or totals disagreeing with the claim —
+    # blocks verification.
+    blocking = [
+        issue for issue in report.issues
+        if not (issue.startswith("delay ") and not sol.delay_feasible)
+    ]
+    return {
+        "valid": bool(report.valid),
+        "delay_feasible": bool(report.delay_feasible),
+        "cost": None if report.cost is None else int(report.cost),
+        "delay": None if report.delay is None else int(report.delay),
+        "issues": list(report.issues),
+        "verified": bool(report.valid) and not blocking,
+    }
+
+
+def run_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Execute one service job; always returns a result dict.
+
+    ``payload`` keys: ``job_id, kind, instance, state, delta, eps,
+    deadline_ts, journal_path, fsync, chaos, chaos_seconds``.
+    :class:`~repro.errors.ReproError` maps to a ``failed`` result;
+    anything else propagates (the dispatcher treats an escaped exception
+    the same way, so a worker bug cannot masquerade as a clean answer).
+    """
+    journal, _ = JournalWriter.reopen(
+        payload["journal_path"], fsync=bool(payload.get("fsync", False))
+    )
+    started = time.perf_counter()
+    try:
+        journal.append({"kind": "status", "state": STATE_RUNNING,
+                        "pid": os.getpid()})
+        chaos = payload.get("chaos")
+        if chaos == "exit":
+            # Fault injection: die like a seg-faulted worker (no journal
+            # terminal record, no Python-level cleanup).
+            os._exit(42)
+        if chaos == "sleep":
+            time.sleep(float(payload.get("chaos_seconds", 1.0)))
+
+        budget = _budget_from_deadline(payload.get("deadline_ts"))
+        try:
+            result = _run_kind(payload, budget)
+        except ReproError as exc:
+            result = {
+                "state": STATE_FAILED,
+                "error": f"{type(exc).__name__}: {exc}",
+                "solution": None,
+                "verification": None,
+                "session_state": None,
+                "counters": {},
+            }
+        result["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+        result["worker_pid"] = os.getpid()
+        journal.append({
+            "kind": "status",
+            "state": result["state"],
+            "error": result.get("error"),
+        })
+        return result
+    finally:
+        journal.close()
+
+
+def _run_kind(
+    payload: dict[str, Any], budget: SolveBudget | None
+) -> dict[str, Any]:
+    """Dispatch on job kind; shared result assembly."""
+    with obs.session(label=f"service-job-{payload.get('job_id', '?')}") as tel:
+        if payload["kind"] == "solve":
+            instance = payload["instance"]
+            g, s, t, k, delay_bound = instance_from_dict(instance)
+            eps = payload.get("eps")
+            if isinstance(eps, list):
+                eps = (float(eps[0]), float(eps[1]))
+            if eps is None:
+                # Budget-free of eps: open an online session so later
+                # resolve requests against this hash start warm.
+                state = start_online(
+                    g, s, t, k, delay_bound, budget=budget, copy=False
+                )
+                sol = state.solution
+                session_state = state_to_dict(state)
+            else:
+                sol = solve_krsp(
+                    g, s, t, k, delay_bound, eps=eps, budget=budget
+                )
+                session_state = None
+        else:  # resolve
+            state = state_from_dict(payload["state"])
+            delta = delta_from_dict(payload["delta"])
+            sol = resolve(state, delta, budget=budget)
+            inst = state.instance
+            instance = instance_to_dict(
+                inst.graph, inst.s, inst.t, inst.k, inst.delay_bound
+            )
+            session_state = state_to_dict(state)
+
+        verification = _verify(instance, sol)
+        state_name = (
+            STATE_DONE
+            if sol.status == STATUS_OK and verification["verified"]
+            else STATE_DEGRADED
+        )
+        return {
+            "state": state_name,
+            "error": None,
+            "solution": _solution_payload(sol),
+            "verification": verification,
+            "session_state": session_state,
+            "instance": instance if payload["kind"] == "resolve" else None,
+            "counters": dict(tel.counters),
+        }

@@ -26,6 +26,7 @@ PUBLIC_PACKAGES = [
     "repro.obs",
     "repro.robustness",
     "repro.online",
+    "repro.service",
 ]
 
 
@@ -46,7 +47,7 @@ def test_all_public_names_documented(mod_name):
     "fname",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
      "docs/API.md", "docs/TESTING.md", "docs/OBSERVABILITY.md",
-     "docs/ROBUSTNESS.md", "docs/ONLINE.md"],
+     "docs/ROBUSTNESS.md", "docs/ONLINE.md", "docs/SERVICE.md"],
 )
 def test_top_level_documents_exist(fname):
     path = ROOT / fname

@@ -1,0 +1,499 @@
+"""Tests for the kRSP solve service (src/repro/service, docs/SERVICE.md).
+
+Three layers:
+
+* pure units — wire protocol (canonicalization, validation, dedup keys)
+  and the fairness scheduler (exact weighted-round-robin interleaves);
+* one shared live server (module-scoped, 2 spawn workers, chaos hooks
+  on) for the concurrency suite: parallel mixed-priority clients,
+  byte-identical dedup, deadline-miss-as-degraded, worker-crash
+  respawn, journal-backed status, online resolve sessions;
+* dedicated short-lived servers for the paths that poison a shared one
+  (graceful drain / 503).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.eval.experiments import figure1_instance
+from repro.graph.generators import parallel_chains
+from repro.graph.io import instance_to_dict
+from repro.service import client as svc
+from repro.service.protocol import (
+    REQUEST_SCHEMA,
+    canonical_instance,
+    instance_digest,
+    parse_request,
+    request_key,
+)
+from repro.service.scheduler import SessionGate, WeightedFairQueue
+from repro.service.server import ServiceConfig, ServiceThread
+
+
+def fig1_instance_dict() -> dict:
+    g, ids = figure1_instance(6, 10)
+    return instance_to_dict(g, ids["s"], ids["t"], 2, 6)
+
+
+def chains_instance_dict(seed: int = 0, length: int = 3) -> dict:
+    g, s, t = parallel_chains(2, length)
+    rng = np.random.default_rng(seed)
+    cost = rng.integers(1, 9, size=g.m).astype(np.int64)
+    delay = rng.integers(1, 5, size=g.m).astype(np.int64)
+    g = g.with_weights(cost, delay)
+    return instance_to_dict(g, s, t, 2, int(delay.sum()))
+
+
+# ---------------------------------------------------------------------------
+# protocol units
+
+
+class TestProtocol:
+    def test_canonicalization_is_spelling_independent(self):
+        inst = fig1_instance_dict()
+        shuffled = dict(reversed(list(inst.items())))
+        assert instance_digest(canonical_instance(inst)) == instance_digest(
+            canonical_instance(shuffled)
+        )
+
+    def test_parse_fills_hash_for_inline_instances(self):
+        req = parse_request({"schema": REQUEST_SCHEMA,
+                             "instance": fig1_instance_dict()})
+        assert req.instance_hash == instance_digest(req.instance)
+        assert req.kind == "solve"
+        assert req.wait is True
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"schema": "nope/9"}, "schema"),
+            ({"kind": "dance"}, "kind"),
+            ({"tenant": ""}, "tenant"),
+            ({"priority": "high"}, "priority"),
+            ({"eps": -1.0}, "eps"),
+            ({"eps": [0.1]}, "eps"),
+            ({"deadline_seconds": -2}, "deadline_seconds"),
+            ({"wait": "yes"}, "wait"),
+            ({"instance_hash": "tooshort"}, "instance_hash"),
+            ({"overrides": {"q": 1}}, "override"),
+            ({"delta": {"schema": "instance-delta/1"}}, "delta"),
+        ],
+    )
+    def test_parse_rejects_bad_fields(self, mutation, fragment):
+        body = {"schema": REQUEST_SCHEMA, "instance": fig1_instance_dict()}
+        body.update(mutation)
+        with pytest.raises(InputError, match=fragment):
+            parse_request(body)
+
+    def test_resolve_needs_session_hash_and_delta(self):
+        with pytest.raises(InputError, match="instance_hash"):
+            parse_request({"schema": REQUEST_SCHEMA, "kind": "resolve",
+                           "instance": fig1_instance_dict(),
+                           "delta": {"schema": "instance-delta/1", "ops": []}})
+        with pytest.raises(InputError, match="delta"):
+            parse_request({"schema": REQUEST_SCHEMA, "kind": "resolve",
+                           "instance_hash": "0" * 64})
+
+    def test_priority_clamped_not_rejected(self):
+        body = {"schema": REQUEST_SCHEMA, "instance": fig1_instance_dict(),
+                "priority": 99}
+        assert parse_request(body).priority == 2
+
+    def test_chaos_stripped_unless_allowed(self):
+        body = {"schema": REQUEST_SCHEMA, "instance": fig1_instance_dict(),
+                "chaos": "exit"}
+        assert parse_request(body).chaos is None
+        assert parse_request(body, allow_chaos=True).chaos == "exit"
+
+    def test_request_key_ignores_scheduling_metadata(self):
+        inst = fig1_instance_dict()
+        a = parse_request({"schema": REQUEST_SCHEMA, "instance": inst,
+                           "tenant": "alice", "priority": 2})
+        b = parse_request({"schema": REQUEST_SCHEMA, "instance": inst,
+                           "tenant": "bravo", "priority": -1, "wait": False})
+        assert request_key(a) == request_key(b)
+
+    def test_request_key_separates_answers(self):
+        inst = fig1_instance_dict()
+        base = parse_request({"schema": REQUEST_SCHEMA, "instance": inst})
+        other_eps = parse_request({"schema": REQUEST_SCHEMA, "instance": inst,
+                                   "eps": 0.5})
+        other_deadline = parse_request({"schema": REQUEST_SCHEMA,
+                                        "instance": inst,
+                                        "deadline_seconds": 5.0})
+        keys = {request_key(base), request_key(other_eps),
+                request_key(other_deadline)}
+        assert len(keys) == 3
+        # ... but deadlines within the same 0.1 s bucket share a key.
+        close = parse_request({"schema": REQUEST_SCHEMA, "instance": inst,
+                               "deadline_seconds": 5.04})
+        assert request_key(close) == request_key(other_deadline)
+
+    def test_session_version_distinguishes_resolve_keys(self):
+        delta = {"schema": "instance-delta/1",
+                 "ops": [{"op": "reweight", "edge": 0, "cost": 2, "delay": 1}]}
+        req = parse_request({"schema": REQUEST_SCHEMA, "kind": "resolve",
+                             "instance_hash": "a" * 64, "delta": delta})
+        assert request_key(req, session_version=1) != request_key(
+            req, session_version=2
+        )
+
+
+# ---------------------------------------------------------------------------
+# scheduler units
+
+
+class TestWeightedFairQueue:
+    def test_equal_weights_interleave_round_robin(self):
+        q = WeightedFairQueue()
+        for i in range(3):
+            q.push("a", 0, f"a{i}")
+            q.push("b", 0, f"b{i}")
+        order = [q.pop() for _ in range(6)]
+        assert order == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_weight_two_gets_two_slots_per_cycle(self):
+        q = WeightedFairQueue()
+        q.set_weight("big", 2)
+        for i in range(6):
+            q.push("big", 0, f"B{i}")
+        for i in range(3):
+            q.push("small", 0, f"s{i}")
+        order = [q.pop() for _ in range(9)]
+        # Smooth WRR: big, small, big, big, small, big ... — never three
+        # consecutive big while small has work, 2:1 overall.
+        assert order.count("s0") == 1
+        first_six = order[:6]
+        assert sum(1 for x in first_six if x.startswith("B")) == 4
+        assert sum(1 for x in first_six if x.startswith("s")) == 2
+
+    def test_flood_cannot_starve_the_other_tenant(self):
+        q = WeightedFairQueue()
+        for i in range(100):
+            q.push("flood", 0, f"f{i}")
+        q.push("quiet", 0, "q0")
+        popped = [q.pop() for _ in range(4)]
+        assert "q0" in popped  # served within one fairness cycle
+
+    def test_priority_orders_within_tenant_fifo_within_band(self):
+        q = WeightedFairQueue()
+        q.push("t", 0, "low-1")
+        q.push("t", 2, "hi-1")
+        q.push("t", 0, "low-2")
+        q.push("t", 2, "hi-2")
+        assert [q.pop() for _ in range(4)] == [
+            "hi-1", "hi-2", "low-1", "low-2"
+        ]
+
+    def test_pop_empty_returns_none_and_len_tracks(self):
+        q = WeightedFairQueue()
+        assert q.pop() is None
+        q.push("t", 0, "x")
+        assert len(q) == 1
+        assert q.pop() == "x"
+        assert len(q) == 0
+        assert q.depth_by_tenant() == {}
+
+    def test_bad_weights_rejected(self):
+        q = WeightedFairQueue()
+        with pytest.raises(ValueError):
+            q.set_weight("t", 0)
+        with pytest.raises(ValueError):
+            WeightedFairQueue(default_weight=0)
+
+
+class TestSessionGate:
+    def test_admit_park_release_order(self):
+        gate = SessionGate()
+        assert gate.admit("h1", "job-a")
+        assert not gate.admit("h1", "job-b")
+        assert not gate.admit("h1", "job-c")
+        assert gate.admit("h2", "other")  # independent sessions run freely
+        assert gate.parked_count() == 2
+        released = gate.release("h1")
+        assert released == ["job-b", "job-c"]
+        assert gate.parked_count() == 0
+        assert gate.admit("h1", "job-b")  # free again
+
+    def test_release_unknown_key_is_empty(self):
+        assert SessionGate().release("nope") == []
+
+
+# ---------------------------------------------------------------------------
+# live-server integration
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared 2-worker service with chaos hooks enabled."""
+    thread = ServiceThread(ServiceConfig(workers=2, allow_chaos=True))
+    yield thread
+    thread.stop(drain=False)
+
+
+def raw_post_solve(url: str, body: dict) -> tuple[int, bytes, dict]:
+    """POST /v1/solve returning the *raw* body bytes (dedup identity)."""
+    host, port = url.split("//", 1)[1].split(":")
+    payload = json.dumps(body).encode("utf-8")
+    conn = http.client.HTTPConnection(host, int(port), timeout=120.0)
+    try:
+        conn.request("POST", "/v1/solve", body=payload,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return (resp.status, resp.read(),
+                {k.lower(): v for k, v in resp.getheaders()})
+    finally:
+        conn.close()
+
+
+class TestServiceSolve:
+    def test_solve_roundtrip_has_verified_certificate(self, server):
+        code, resp, hdrs = svc.submit(
+            server.url, svc.solve_request(fig1_instance_dict(),
+                                          deadline_seconds=60)
+        )
+        assert code == 200
+        assert resp["schema"] == "krsp-service-result/1"
+        assert resp["state"] == "done"
+        assert resp["verification"]["verified"] is True
+        cert = resp["solution"]["certificate"]
+        assert cert["delay_slack"] >= 0
+        assert resp["instance_hash"] == instance_digest(
+            canonical_instance(fig1_instance_dict())
+        )
+
+    def test_parallel_mixed_priority_clients(self, server):
+        instances = [chains_instance_dict(seed=100 + i) for i in range(6)]
+        results: list[tuple[int, dict]] = [None] * len(instances)
+
+        def go(i: int) -> None:
+            code, resp, _ = svc.submit(
+                server.url,
+                svc.solve_request(
+                    instances[i],
+                    tenant=["alice", "bravo", "carol"][i % 3],
+                    priority=(i % 5) - 2,
+                    deadline_seconds=60,
+                ),
+            )
+            results[i] = (code, resp)
+
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(len(instances))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for code, resp in results:
+            assert code == 200
+            assert resp["state"] == "done"
+            assert resp["verification"]["verified"] is True
+
+    def test_dedup_shares_byte_identical_results(self, server):
+        body = svc.solve_request(chains_instance_dict(seed=777),
+                                 chaos="sleep", deadline_seconds=60)
+        out: list[tuple[int, bytes, dict]] = [None, None, None]
+
+        def go(i: int) -> None:
+            out[i] = raw_post_solve(server.url, body)
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        statuses = [o[0] for o in out]
+        assert statuses == [200, 200, 200]
+        bodies = {o[1] for o in out}
+        assert len(bodies) == 1, "dedup subscribers must get identical bytes"
+        dedups = sorted(o[2]["x-krsp-dedup"] for o in out)
+        assert dedups == ["hit", "hit", "miss"]
+        jobs = {o[2]["x-krsp-job"] for o in out}
+        assert len(jobs) == 1
+
+    def test_deadline_miss_is_degraded_not_500(self, server):
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(chains_instance_dict(seed=5, length=5),
+                              deadline_seconds=0.0),
+        )
+        assert code == 200, "budget exhaustion is a result, not an error"
+        assert resp["state"] == "degraded"
+        cert = resp["solution"]["certificate"]
+        assert cert["exhausted_reason"] == "deadline"
+        # Even the degraded answer is structurally verified: real paths,
+        # totals recomputed and matching.
+        assert resp["verification"]["valid"] is True
+        assert resp["verification"]["verified"] is True
+
+    def test_status_transitions_from_the_journal(self, server):
+        code, resp, hdrs = svc.submit(
+            server.url, svc.solve_request(fig1_instance_dict(),
+                                          deadline_seconds=60)
+        )
+        assert code == 200
+        job_id = hdrs["x-krsp-job"]
+        code, st, _ = svc.status(server.url, job_id)
+        assert code == 200
+        states = [t["state"] for t in st["transitions"]]
+        assert states == ["queued", "running", "done"]
+        code, res, _ = svc.result(server.url, job_id)
+        assert code == 200
+        assert res["job_id"] == job_id
+
+    def test_unknown_ids_are_404(self, server):
+        assert svc.status(server.url, "job-999999")[0] == 404
+        assert svc.result(server.url, "job-999999")[0] == 404
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(instance_hash="f" * 64, deadline_seconds=5),
+        )
+        assert code == 404  # solve by never-seen hash
+
+    def test_bad_request_is_400(self, server):
+        code, resp, _ = svc.submit(server.url, {"schema": "wrong/1"})
+        assert code == 400
+        code, resp, _ = svc.request_json(
+            server.url + "/v1/solve", {"schema": REQUEST_SCHEMA}
+        )
+        assert code == 400
+
+    def test_resolve_reuses_the_session_and_verifies(self, server):
+        inst = chains_instance_dict(seed=4242)
+        code, resp, _ = svc.submit(
+            server.url, svc.solve_request(inst, deadline_seconds=60)
+        )
+        assert code == 200 and resp["state"] == "done"
+        h = resp["instance_hash"]
+        delta = {"schema": "instance-delta/1",
+                 "ops": [{"op": "reweight", "edge": 0, "cost": 3, "delay": 1}]}
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(kind="resolve", instance_hash=h, delta=delta,
+                              deadline_seconds=60),
+        )
+        assert code == 200
+        assert resp["state"] == "done"
+        assert resp["verification"]["verified"] is True
+
+    def test_resolve_without_session_is_404(self, server):
+        delta = {"schema": "instance-delta/1",
+                 "ops": [{"op": "reweight", "edge": 0, "cost": 2, "delay": 1}]}
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(kind="resolve", instance_hash="e" * 64,
+                              delta=delta),
+        )
+        assert code == 404
+
+    def test_solve_by_hash_after_inline_solve(self, server):
+        inst = chains_instance_dict(seed=31337)
+        code, resp, _ = svc.submit(
+            server.url, svc.solve_request(inst, deadline_seconds=60)
+        )
+        assert code == 200
+        h = resp["instance_hash"]
+        code, resp2, _ = svc.submit(
+            server.url,
+            svc.solve_request(instance_hash=h, deadline_seconds=60),
+        )
+        assert code == 200
+        assert resp2["solution"]["cost"] == resp["solution"]["cost"]
+
+    def test_wait_false_ack_then_poll_result(self, server):
+        code, ack, hdrs = svc.submit(
+            server.url,
+            svc.solve_request(chains_instance_dict(seed=808),
+                              deadline_seconds=60, wait=False),
+        )
+        assert code == 202
+        assert ack["schema"] == "krsp-service-ack/1"
+        job_id = ack["job_id"]
+        deadline = threading.Event()
+        for _ in range(600):
+            code, res, _ = svc.result(server.url, job_id)
+            if code == 200:
+                break
+            deadline.wait(0.05)
+        assert code == 200
+        assert res["state"] == "done"
+
+    def test_worker_crash_respawns_pool_and_fails_only_the_job(self, server):
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(chains_instance_dict(seed=666), chaos="exit",
+                              deadline_seconds=60),
+        )
+        # The chaos job dies twice (original + one retry) and fails alone.
+        assert code == 200
+        assert resp["state"] == "failed"
+        assert "died" in resp["error"]
+        # The pool was respawned: the very next solve succeeds.
+        code, resp, _ = svc.submit(
+            server.url,
+            svc.solve_request(chains_instance_dict(seed=667),
+                              deadline_seconds=60),
+        )
+        assert code == 200
+        assert resp["state"] == "done"
+        text = svc.scrape_metrics(server.url)
+        assert "repro_service_worker_respawns_total" in text
+
+    def test_metrics_endpoint_exposes_service_counters(self, server):
+        from repro.obs.promtext import parse_prometheus
+
+        text = svc.scrape_metrics(server.url)
+        families = parse_prometheus(text)
+        assert "repro_service_requests_total" in families
+        assert "repro_service_request_seconds" in families
+        # Worker-side solver counters are harvested into the same page.
+        assert "repro_krsp_solves_total" in families
+
+    def test_healthz_reports_queue_shape(self, server):
+        code, health, _ = svc.healthz(server.url)
+        assert code == 200
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+
+class TestGracefulDrain:
+    def test_drain_rejects_new_work_finishes_old(self):
+        thread = ServiceThread(ServiceConfig(workers=1, allow_chaos=True,
+                                             warm=False))
+        try:
+            slow = svc.solve_request(chains_instance_dict(seed=12),
+                                     chaos="sleep", deadline_seconds=60)
+            box: list = [None]
+
+            def go() -> None:
+                box[0] = svc.submit(thread.url, slow)
+
+            t = threading.Thread(target=go)
+            t.start()
+            # Wait until the slow job is actually admitted.
+            for _ in range(200):
+                code, health, _ = svc.healthz(thread.url)
+                if health["inflight"] or health["queue_depth"]:
+                    break
+                threading.Event().wait(0.02)
+            thread.begin_drain()
+            code, resp, _ = svc.submit(
+                thread.url, svc.solve_request(fig1_instance_dict())
+            )
+            assert code == 503
+            code, health, _ = svc.healthz(thread.url)
+            assert health["status"] == "draining"
+            t.join(timeout=120.0)
+            assert not t.is_alive()
+            code, resp, _ = box[0]
+            assert code == 200, "in-flight work must finish during drain"
+            assert resp["state"] == "done"
+        finally:
+            thread.stop(drain=True)
