@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Performance gate over pinned solver kernels (PR 4).
+"""Performance gate over pinned solver kernels (PR 4, extended PR 9).
 
 Runs a fixed set of kernels drawn from the benchmark suite's experiment
 areas (E5 cancellation, E6 bicameral finder, E7 full solver, E10 stress
@@ -7,7 +7,7 @@ scale, F2 auxiliary-graph construction), records median wall-clock plus the
 deterministic telemetry-counter snapshot of each, and enforces two gates:
 
 * **Regression gate** — any pinned kernel more than ``--tolerance`` (15%
-  default) slower than the committed ``BENCH_PR4.json`` baseline fails the
+  default) slower than the committed ``BENCH_PR9.json`` baseline fails the
   run. Skipped under ``--quick`` (CI hardware is not the baseline's).
   Failures carry a counter-drift attribution block (via
   :mod:`repro.obs.diff`): the kernels are deterministic, so moved counters
@@ -25,10 +25,19 @@ deterministic telemetry-counter snapshot of each, and enforces two gates:
   regression-gated against the committed ``BENCH_PR6.json`` in full mode.
 
 The search-layer speedup deliberately excludes the HiGHS LP solves: LP time
-dominates end-to-end runs and is unchanged by this PR (profiled at ~95% of
-a full E6 sweep), so gating the ratio there would measure the LP solver,
-not the engine. End-to-end kernels are covered by the regression gate
-instead.
+dominates end-to-end runs, so gating the ratio there would measure the LP
+solver, not the incremental engine. The LP solver itself is gated
+separately (PR 9):
+
+* **LP engine gate (PR 9)** — the warm-started LP engine
+  (:mod:`repro.lp.engine`) is held to deterministic ``lp.pivots`` ceilings
+  per backend on the E5 cancellation kernel (enforced in every mode,
+  including ``--quick`` — counters don't depend on hardware), and, when
+  highspy is installed, to end-to-end backend speedup floors: the same
+  E5/E10 kernels run under the warm highspy backend must beat their scipy
+  runs by >= 2x (ratio-gated, same machine/process). Without highspy the
+  backend ratios are reported as skipped and only the scipy pivot ceiling
+  applies.
 
 Usage::
 
@@ -54,18 +63,34 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro._util.atomicio import atomic_write_json  # noqa: E402
 from repro.obs.diff import format_drift_block, rank_counter_drift  # noqa: E402
 
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR9.json"
 ONLINE_OUT = REPO_ROOT / "BENCH_PR6.json"
 SCHEMA = "bench-gate/1"
 ONLINE_SCHEMA = "bench-online/1"
 
 # Search-layer speedup floors (ISSUE acceptance criteria). The online
 # resolve floor is the PR 6 acceptance bar: warm re-solving a pinned
-# E10-scale churn trace must beat from-scratch solving by >= 2x.
+# E10-scale churn trace must beat from-scratch solving by >= 2x. The
+# lp_backend floors are the PR 9 bar: the warm-started highspy backend
+# must beat the scipy fallback end-to-end on the E5/E10 kernels by >= 2x
+# (measured only when highspy is installed).
 SPEEDUP_FLOORS = {
     "e6_search_layer": 2.0,
     "e10_search_layer": 1.5,
     "e10_online_resolve": 2.0,
+    "e5_lp_backend": 2.0,
+    "e10_lp_backend": 2.0,
+}
+
+# Deterministic simplex-pivot ceilings on the E5 cancellation kernel, per
+# LP backend (PR 9). The scipy path is bit-compatible with the pre-engine
+# solver, so its ceiling is the BENCH_PR4 measurement (95,746) plus ~5%
+# headroom for scipy-version drift; the highspy ceiling is the ISSUE
+# acceptance bar — at most half the cold-basis pivot count, which warm
+# basis reuse across the doubling schedule must deliver. Enforced in every
+# mode including --quick: counters are machine-independent.
+PIVOT_CEILINGS = {
+    "e5_cancellation": {"scipy": 100_534, "highspy": 47_873},
 }
 # Budget levels swept by the search-layer kernels — a pinned prefix of the
 # production finder's doubling schedule.
@@ -280,6 +305,50 @@ def measure_speedups(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# LP backend speedup kernels (PR 9, ratio-gated, highspy only)
+# ---------------------------------------------------------------------------
+
+
+def measure_lp_backend_speedups() -> dict:
+    """End-to-end scipy-vs-highspy ratios on the E5/E10 kernels.
+
+    Same machine, same process, same pinned instances — only the LP
+    backend differs, so the ratio isolates exactly what the warm-started
+    engine buys. Each backend gets one untimed warm-up run (imports,
+    workload construction); the highspy side's persistent models reset
+    between repeats anyway because every solver run owns a fresh AuxCache
+    token — warm starts pay off *within* a run (doubling schedule ×
+    cancellation iterations), which is the production shape.
+
+    Returns ``{}`` when highspy is not installed (the gate prints the
+    skip); the scipy fallback's health is still covered by the pivot
+    ceiling and the regression gate.
+    """
+    from repro.lp.engine import force_backend, highspy_available
+
+    if not highspy_available():
+        return {}
+    out = {}
+    for name, kernel in (
+        ("e5_lp_backend", kernel_e5_cancellation),
+        ("e10_lp_backend", kernel_e10_stress),
+    ):
+        with force_backend("scipy"):
+            kernel()
+            t_scipy = _best_time(kernel, repeats=3)
+        with force_backend("highspy"):
+            kernel()
+            t_highs = _best_time(kernel, repeats=3)
+        out[name] = {
+            "ratio": round(t_scipy / t_highs, 3) if t_highs > 0 else float("inf"),
+            "floor": SPEEDUP_FLOORS[name],
+            "scipy_best_s": round(t_scipy, 6),
+            "highspy_best_s": round(t_highs, 6),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
 # online warm-vs-cold resolve kernel (PR 6, ratio-gated + BENCH_PR6.json)
 # ---------------------------------------------------------------------------
 
@@ -440,12 +509,45 @@ def run_gate(args) -> int:
                     )
         print(line)
 
+    # -- LP engine gate (PR 9): deterministic pivot ceilings + backend ratios
+    from repro.lp.engine import get_engine, highspy_available
+
+    backend = get_engine().backend_name
+    report["lp_engine"] = {
+        "backend": backend,
+        "highspy_available": highspy_available(),
+        "pivots": {
+            name: entry["counters"].get("lp.pivots", 0)
+            for name, entry in report["kernels"].items()
+        },
+        "ceilings": PIVOT_CEILINGS,
+    }
+    for kname, ceilings in PIVOT_CEILINGS.items():
+        ceiling = ceilings.get(backend)
+        pivots = report["kernels"][kname]["counters"].get("lp.pivots", 0)
+        print(
+            f"{kname:18s} lp.pivots {pivots:9d} "
+            f"(ceiling {ceiling} on {backend})"
+        )
+        if ceiling is not None and pivots > ceiling:
+            failures.append(
+                f"{kname}: lp.pivots {pivots} exceeds the {backend} "
+                f"ceiling {ceiling}"
+            )
+
     report["speedups"] = measure_speedups(args.quick)
+    report["speedups"].update(measure_lp_backend_speedups())
+    if not highspy_available():
+        print(
+            f"{'e5/e10_lp_backend':18s} skipped (highspy not installed — "
+            "scipy fallback active; install repro[perf] to gate the "
+            "backend ratios)"
+        )
     for name, entry in report["speedups"].items():
         print(f"{name:18s} speedup {entry['ratio']:6.2f}x (floor {entry['floor']}x)")
         if entry["ratio"] < entry["floor"]:
             failures.append(
-                f"{name}: incremental speedup {entry['ratio']}x below the "
+                f"{name}: speedup {entry['ratio']}x below the "
                 f"{entry['floor']}x floor"
             )
 

@@ -50,6 +50,22 @@ def _fmt_ms(seconds: float | None) -> str:
     return f"{seconds * 1e3:.2f}" if seconds is not None else "—"
 
 
+def _pivots_of(report: dict, kernel: str) -> int | None:
+    """``lp.pivots`` for one kernel, from the PR 9 ``lp_engine`` section or
+    (older reports) the kernel's raw counter snapshot."""
+    pivots = report.get("lp_engine", {}).get("pivots", {})
+    if kernel in pivots:
+        return int(pivots[kernel])
+    counters = report.get("kernels", {}).get(kernel, {}).get("counters", {})
+    value = counters.get("lp.pivots")
+    return int(value) if value is not None else None
+
+
+def _pivot_backend(report: dict) -> str:
+    """The LP backend a bench-gate report ran on (pre-PR9 reports: scipy)."""
+    return report.get("lp_engine", {}).get("backend", "scipy")
+
+
 def render_trend(reports: list[tuple[str, dict]]) -> str:
     """The full markdown document for a set of parsed reports."""
     gate = [(n, d) for n, d in reports if d.get("schema") == "bench-gate/1"]
@@ -77,6 +93,34 @@ def render_trend(reports: list[tuple[str, dict]]) -> str:
             row = [f"`{kernel}`"]
             for _, d in gate:
                 row.append(_fmt_ms(d["kernels"].get(kernel, {}).get("median_s")))
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+
+        lines.append("## LP pivot trend (deterministic)")
+        lines.append("")
+        lines.append(
+            "Simplex iterations per kernel (`lp.pivots`), comparable across "
+            "machines and releases; drift is current-vs-oldest report. The "
+            "active backend is shown per report — warm-started `highspy` "
+            "runs should sit well below cold `scipy` counts "
+            "(docs/PERFORMANCE.md \"LP engine & warm starts\")."
+        )
+        lines.append("")
+        header = ["kernel"] + [
+            f"{name} ({_pivot_backend(d)})" for name, d in gate
+        ] + ["drift"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for kernel in kernel_names:
+            vals = [_pivots_of(d, kernel) for _, d in gate]
+            row = [f"`{kernel}`"] + [
+                str(v) if v is not None else "—" for v in vals
+            ]
+            known = [v for v in vals if v is not None]
+            if len(known) >= 2 and known[0]:
+                row.append(f"{(known[-1] / known[0] - 1.0):+.1%}")
+            else:
+                row.append("—")
             lines.append("| " + " | ".join(row) + " |")
         lines.append("")
 

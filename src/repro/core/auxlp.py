@@ -28,8 +28,6 @@ search wants most.
 from __future__ import annotations
 
 import numpy as np
-import scipy.optimize
-import scipy.sparse as sp
 
 from repro import obs
 from repro.core.auxgraph import AuxGraph
@@ -37,7 +35,8 @@ from repro.core.bicameral import CandidateCycle
 from repro.core.cycle_decompose import split_closed_walk
 from repro.errors import BudgetExhaustedError, SolverError
 from repro.graph.digraph import DiGraph
-from repro.lp.flow_lp import incidence_matrix, lp_time_limit_options
+from repro.lp.engine import get_engine
+from repro.lp.flow_lp import lp_time_limit_options
 
 #: Mass below this is treated as zero when peeling fractional circulations.
 PEEL_TOL = 1e-7
@@ -57,48 +56,19 @@ def solve_ratio_lp(aux: AuxGraph, cost_sign: int) -> np.ndarray | None:
     Raises :class:`SolverError` on an unbounded LP (negative-delay zero-cost
     circulation — callers should have eliminated these first).
     """
-    h = aux.graph
     wraps = aux.wrap_cost
     chosen = (wraps * cost_sign) > 0
-    other = (wraps * cost_sign) < 0
     if not chosen.any():
         return None
 
-    A_eq_cons = incidence_matrix(h)
-    idx = np.nonzero(chosen)[0]
-    norm_row = sp.csr_matrix(
-        (
-            np.abs(wraps[idx]).astype(np.float64),
-            (np.zeros(len(idx), dtype=np.int64), idx),
-        ),
-        shape=(1, h.m),
-    )
-    A_eq = sp.vstack([A_eq_cons, norm_row], format="csr")
-    b_eq = np.zeros(h.n + 1)
-    b_eq[-1] = 1.0
-
-    # Upper bound MASS_CAP instead of +inf: if a negative-delay *zero-cost*
-    # circulation exists (it uses no wraps, so the normalization cannot see
-    # it), an uncapped LP would be unbounded. Capped, the optimum simply
-    # loads that circulation with mass, and peeling hands it back to the
-    # caller as cost-0 negative-delay cycles — i.e. type-0 candidates.
-    ub = np.full(h.m, MASS_CAP)
-    ub[other] = 0.0
     # An LP solve is the largest indivisible unit of work in the pipeline;
     # under an ambient deadline, cap HiGHS's own runtime at the remaining
-    # budget so a single big solve cannot blow past the deadline.
+    # budget so a single big solve cannot blow past the deadline. Assembly
+    # (incl. the MASS_CAP boundedness trick — see the module docstring) and
+    # warm-start bookkeeping live in repro.lp.engine.
     options, deadline_capped = lp_time_limit_options()
-    with obs.span("lp.ratio_lp"):
-        res = scipy.optimize.linprog(
-            c=h.delay.astype(np.float64),
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=np.stack([np.zeros(h.m), ub], axis=1),
-            method="highs",
-            options=options,
-        )
+    res = get_engine().solve_ratio(aux, cost_sign, options=options)
     obs.inc("lp.ratio_lp.solves")
-    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:
         return None
     if res.status == 1 and deadline_capped:
@@ -211,21 +181,8 @@ def solve_lp6(aux: AuxGraph, delta_d: int) -> np.ndarray | None:
     ``H`` reaches the required delay reduction (then a larger ``B`` or a
     different anchor is needed — Algorithm 3's outer loops).
     """
-    h = aux.graph
-    A_eq = incidence_matrix(h)
-    b_eq = np.zeros(h.n)
-    with obs.span("lp.lp6"):
-        res = scipy.optimize.linprog(
-            c=h.cost.astype(np.float64),
-            A_ub=sp.csr_matrix(h.delay.astype(np.float64)[None, :]),
-            b_ub=np.array([float(delta_d)]),
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=(0.0, MASS_CAP),
-            method="highs",
-        )
+    res = get_engine().solve_lp6(aux, delta_d)
     obs.inc("lp.lp6.solves")
-    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:
         return None
     if not res.success:

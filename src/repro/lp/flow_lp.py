@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.optimize
 import scipy.sparse as sp
 
 from repro import obs
@@ -101,25 +100,11 @@ def solve_flow_lp(
     # of work in the pipeline, so refuse to start one on a spent budget
     # (no-op unless a meter is armed; see repro.robustness.budget).
     checkpoint("lp.flow_lp")
-    A_eq = incidence_matrix(g)
-    b_eq = np.zeros(g.n)
-    b_eq[s] += k
-    b_eq[t] -= k
+    from repro.lp.engine import get_engine  # late: engine imports this module
 
     options, deadline_capped = lp_time_limit_options()
-    with obs.span("lp.flow_lp"):
-        res = scipy.optimize.linprog(
-            c=g.cost.astype(np.float64),
-            A_ub=sp.csr_matrix(g.delay.astype(np.float64)[None, :]),
-            b_ub=np.array([float(delay_bound)]),
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=(0.0, 1.0),
-            method="highs-ds",
-            options=options,
-        )
+    res = get_engine().solve_flow(g, s, t, k, delay_bound, options=options)
     obs.inc("lp.flow_lp.solves")
-    obs.add("lp.pivots", int(getattr(res, "nit", 0) or 0))
     if res.status == 2:  # infeasible
         obs.inc("lp.flow_lp.infeasible")
         return None
@@ -129,10 +114,10 @@ def solve_flow_lp(
         raise SolverError(f"flow LP failed: status={res.status} {res.message}")
     x = np.clip(res.x, 0.0, 1.0)
     dual = None
-    if getattr(res, "ineqlin", None) is not None and len(res.ineqlin.marginals):
+    if res.ineq_marginals is not None and len(res.ineq_marginals):
         # linprog reports <=-row marginals as nonpositive; negate to the
         # conventional shadow price.
-        dual = float(-res.ineqlin.marginals[0])
+        dual = float(-res.ineq_marginals[0])
     return FlowLpResult(
         x=x,
         cost=float(res.fun),

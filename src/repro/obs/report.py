@@ -146,7 +146,14 @@ def validate_trace(trace: Trace) -> list[str]:
        entries can be evicted), ``search.aux_cache.delta_refresh <=
        search.aux_cache.hit`` (a delta refresh is a stale hit), and
        ``search.anchors.probes == search.anchors.dirty +
-       search.anchors.skipped`` (every anchor is classified exactly once).
+       search.anchors.skipped`` (every anchor is classified exactly once);
+    7. LP-engine accounting: ``lp.pivots_unreported`` cannot exceed the
+       total LP solve count (``lp.flow_lp.solves + lp.ratio_lp.solves +
+       lp.lp6.solves``) — each solve reports its pivots at most once, to
+       exactly one of the two pivot counters — and the per-backend totals
+       balance: ``lp.warm_start.hit + lp.warm_start.miss ==
+       lp.backend.highspy.solves`` (warm accounting exists only on the
+       highspy path, one hit-or-miss per solve).
     """
     problems: list[str] = []
     if not trace.header:
@@ -240,6 +247,26 @@ def validate_trace(trace: Trace) -> list[str]:
         if probes != classified:
             problems.append(
                 f"search.anchors.probes ({probes}) != dirty + skipped ({classified})"
+            )
+    lp_solves = (
+        c.get("lp.flow_lp.solves", 0)
+        + c.get("lp.ratio_lp.solves", 0)
+        + c.get("lp.lp6.solves", 0)
+    )
+    if c.get("lp.pivots_unreported", 0) > lp_solves:
+        problems.append(
+            f"lp.pivots_unreported ({c.get('lp.pivots_unreported')}) > "
+            f"total LP solves ({lp_solves}) — a solve can fail to report "
+            "its pivot count at most once"
+        )
+    if "lp.warm_start.hit" in c or "lp.warm_start.miss" in c:
+        warm_total = c.get("lp.warm_start.hit", 0) + c.get("lp.warm_start.miss", 0)
+        highs_solves = c.get("lp.backend.highspy.solves", 0)
+        if warm_total != highs_solves:
+            problems.append(
+                f"lp.warm_start.hit + lp.warm_start.miss ({warm_total}) != "
+                f"lp.backend.highspy.solves ({highs_solves}) — every highspy "
+                "solve is exactly one warm hit or miss"
             )
     return problems
 

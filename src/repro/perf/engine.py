@@ -27,6 +27,7 @@ from repro.core.auxgraph import AuxGraph
 from repro.core.residual import ResidualGraph, build_residual
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
+from repro.lp.engine import LPEngine, get_engine
 from repro.perf.anchors import AnchorTracker
 from repro.perf.auxcache import DEFAULT_MAX_BYTES, AuxCache
 
@@ -58,6 +59,21 @@ class IncrementalSearch:
     @property
     def residual(self) -> ResidualGraph | None:
         return self._residual
+
+    @property
+    def lp_engine(self) -> LPEngine:
+        """The process-global LP engine the search's solves run through.
+
+        Deliberately *not* stored on the instance: the engine owns
+        unpicklable HiGHS handles, and ``IncrementalSearch`` state crosses
+        spawn boundaries in checkpoints and the service worker pool.
+        Warm-model continuity comes from the aux cache's family token, not
+        from holding a reference — the doubling schedule, cancellation
+        iterations, and online ``resolve`` sessions all land on the same
+        per-process models as long as the cache (and thus its token)
+        survives, which is exactly the lifetime ``residual_for`` maintains.
+        """
+        return get_engine()
 
     @property
     def tracker(self) -> AnchorTracker:
